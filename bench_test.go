@@ -1,0 +1,228 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per
+// Figure-11 panel (the paper's only results figure) plus one per validated
+// theorem/lemma experiment; see EXPERIMENTS.md for the index and
+// cmd/lhws-bench for the full-scale tabular harness.
+//
+// Each figure benchmark runs a complete scaled panel (LHWS and WS over the
+// worker sweep) per iteration and reports the paper's headline quantities
+// as custom metrics: the LHWS and WS speedups at the top of the sweep
+// (both relative to single-worker WS, the paper's convention) and their
+// ratio.
+package lhws_test
+
+import (
+	"testing"
+
+	"lhws"
+	"lhws/internal/experiments"
+	"lhws/internal/sched"
+	"lhws/internal/workload"
+)
+
+// benchFig11 runs one scaled Figure-11 panel per iteration.
+func benchFig11(b *testing.B, deltaMS float64) {
+	cfg := experiments.ScaledFig11(deltaMS)
+	var last *experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if err := last.Check(); err != nil {
+		b.Fatalf("shape check: %v", err)
+	}
+	top := last.Points[len(last.Points)-1]
+	b.ReportMetric(top.LHWSSpeedup, "lhws-speedup@P30")
+	b.ReportMetric(top.WSSpeedup, "ws-speedup@P30")
+	b.ReportMetric(top.RoundsRatio, "lhws-vs-ws")
+}
+
+// BenchmarkFig11_Delta500ms reproduces the left panel of Figure 11
+// (δ=500ms): latency-hiding work stealing achieves superlinear
+// self-speedup, several times that of standard work stealing.
+func BenchmarkFig11_Delta500ms(b *testing.B) { benchFig11(b, 500) }
+
+// BenchmarkFig11_Delta50ms reproduces the middle panel (δ=50ms):
+// latency hiding still provides substantial benefit.
+func BenchmarkFig11_Delta50ms(b *testing.B) { benchFig11(b, 50) }
+
+// BenchmarkFig11_Delta1ms reproduces the right panel (δ=1ms): with little
+// latency to hide, the two schedulers are nearly identical.
+func BenchmarkFig11_Delta1ms(b *testing.B) { benchFig11(b, 1) }
+
+// BenchmarkGreedyBound runs the Theorem-1 experiment (greedy schedules
+// within W/P + S) per iteration.
+func BenchmarkGreedyBound(b *testing.B) {
+	var last *experiments.GreedyResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Greedy(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if err := last.Check(); err != nil {
+		b.Fatal(err)
+	}
+	worst := 0.0
+	for _, row := range last.Rows {
+		if row.Fill > worst {
+			worst = row.Fill
+		}
+	}
+	b.ReportMetric(worst, "worst-rounds/bound")
+}
+
+// BenchmarkLHWSBound runs the Theorem-2 experiment (rounds within
+// O(W/P + SU(1+lgU))) per iteration and reports the worst implied
+// constant.
+func BenchmarkLHWSBound(b *testing.B) {
+	var last *experiments.BoundResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Bound(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if err := last.Check(); err != nil {
+		b.Fatal(err)
+	}
+	worst := 0.0
+	for _, row := range last.Rows {
+		if row.Ratio > worst {
+			worst = row.Ratio
+		}
+	}
+	b.ReportMetric(worst, "worst-implied-const")
+}
+
+// BenchmarkLemmaInvariants runs the Lemma 1 / Lemma 7 / Corollary 1 / §5
+// suspension-width experiment per iteration.
+func BenchmarkLemmaInvariants(b *testing.B) {
+	var last *experiments.LemmaResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Lemmas(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if err := last.Check(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStealPolicyAblation runs the §6 steal-policy comparison per
+// iteration and reports the failed-steal rates of both policies.
+func BenchmarkStealPolicyAblation(b *testing.B) {
+	var last *experiments.StealsResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Steals(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if err := last.Check(); err != nil {
+		b.Fatal(err)
+	}
+	top := last.Rows[len(last.Rows)-1]
+	b.ReportMetric(top.RandomRate, "random-fail-rate")
+	b.ReportMetric(top.OptRate, "optimized-fail-rate")
+}
+
+// BenchmarkVariantAblation runs the §7 design-variant comparison (paper
+// vs suspend-whole-deque vs new-deque-per-resume) per iteration and
+// reports the round penalty of each prior design.
+func BenchmarkVariantAblation(b *testing.B) {
+	var last *experiments.VariantsResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Variants(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if err := last.Check(); err != nil {
+		b.Fatal(err)
+	}
+	worstFrozen, worstNew := 0.0, 0.0
+	for _, row := range last.Rows {
+		if row.FrozenPenalty > worstFrozen {
+			worstFrozen = row.FrozenPenalty
+		}
+		if row.NewDeqPenalty > worstNew {
+			worstNew = row.NewDeqPenalty
+		}
+	}
+	b.ReportMetric(worstFrozen, "suspend-deque-penalty")
+	b.ReportMetric(worstNew, "resume-new-deque-penalty")
+}
+
+// BenchmarkRuntimeMapReduceLH measures the real goroutine runtime on the
+// §5 map-reduce in latency-hiding mode (wall-clock supporting experiment).
+func BenchmarkRuntimeMapReduceLH(b *testing.B) {
+	benchRuntimeMapReduce(b, lhws.LatencyHiding)
+}
+
+// BenchmarkRuntimeMapReduceBlocking is the blocking-mode baseline.
+func BenchmarkRuntimeMapReduceBlocking(b *testing.B) {
+	benchRuntimeMapReduce(b, lhws.Blocking)
+}
+
+func benchRuntimeMapReduce(b *testing.B, mode lhws.RuntimeMode) {
+	var body func(c *lhws.Ctx, lo, hi int) int64
+	body = func(c *lhws.Ctx, lo, hi int) int64 {
+		if hi-lo == 1 {
+			c.Latency(500_000) // 0.5ms fetch
+			return int64(lo)
+		}
+		mid := (lo + hi) / 2
+		right := lhws.SpawnValue(c, func(cc *lhws.Ctx) int64 { return body(cc, mid, hi) })
+		return body(c, lo, mid) + right.Await(c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lhws.RunTasks(lhws.RuntimeConfig{Workers: 2, Mode: mode}, func(c *lhws.Ctx) {
+			body(c, 0, 32)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: executed dag
+// vertices per second under LHWS on the pure-compute fib workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	g := workload.Fib(18).G
+	b.ResetTimer()
+	var rounds int64
+	for i := 0; i < b.N; i++ {
+		r, err := sched.RunLHWS(g, sched.Options{Workers: 4, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += r.Stats.Rounds
+	}
+	b.ReportMetric(float64(g.Work()*int64(b.N))/b.Elapsed().Seconds(), "vertices/s")
+}
+
+// BenchmarkSuspensionHeavy measures simulator speed on a suspension-heavy
+// workload (thousands of simultaneously suspended vertices), the regime
+// the paper's §6.1 claims the scheduler handles gracefully.
+func BenchmarkSuspensionHeavy(b *testing.B) {
+	g := workload.MapReduce(workload.MapReduceConfig{N: 2000, Delta: 500, FibWork: 3}).G
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sched.RunLHWS(g, sched.Options{Workers: 8, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Stats.MaxSuspended > 2000 {
+			b.Fatal("suspension bound violated")
+		}
+	}
+}

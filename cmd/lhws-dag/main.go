@@ -1,0 +1,107 @@
+// Command lhws-dag inspects weighted-dag files in the text format of
+// internal/dag: validation, the model metrics (work, span, suspension
+// width), the critical path, a witness execution prefix achieving the
+// suspension width, and DOT conversion.
+//
+// Usage:
+//
+//	lhws-sim -workload mapreduce -n 16 -save mr.dag   # produce a file
+//	lhws-dag mr.dag                                   # metrics summary
+//	lhws-dag -critical mr.dag                         # critical path
+//	lhws-dag -prefix mr.dag                           # max-width prefix
+//	lhws-dag -dot mr.dag | dot -Tpng > mr.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lhws/internal/dag"
+)
+
+func main() {
+	var (
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT")
+		critical = flag.Bool("critical", false, "print the critical (longest weighted) path")
+		prefix   = flag.Bool("prefix", false, "print an execution prefix achieving the suspension width")
+		levels   = flag.Bool("levels", false, "print the level structure")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lhws-dag [flags] <file.dag>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	g, err := dag.Decode(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *dot:
+		fmt.Print(g.DOT(path))
+	case *critical:
+		printPath(g)
+	case *prefix:
+		printPrefix(g)
+	case *levels:
+		printLevels(g)
+	default:
+		fmt.Printf("%s: %s\n", path, g.Summary())
+		fmt.Printf("vertices: %d  edges: %d  heavy: %d  total latency: %d\n",
+			g.NumVertices(), g.NumEdges(), g.HeavyEdges(), g.TotalLatency())
+		fmt.Printf("unweighted span: %d (weighted %d)\n", g.UnweightedSpan(), g.Span())
+	}
+}
+
+func printPath(g *dag.Graph) {
+	path := g.CriticalPath()
+	fmt.Printf("critical path (%d vertices, weighted length %d):\n", len(path), g.Span()-1)
+	for i, v := range path {
+		label := g.Label(v)
+		if label == "" {
+			label = "·"
+		}
+		if i > 0 {
+			w, _ := g.Edge(path[i-1], v)
+			if w > 1 {
+				fmt.Printf("  --%d-->", w)
+			} else {
+				fmt.Printf("  -->")
+			}
+		}
+		fmt.Printf(" %d(%s)", v, label)
+	}
+	fmt.Println()
+}
+
+func printPrefix(g *dag.Graph) {
+	set, width := g.MaxWidthPrefix()
+	fmt.Printf("suspension width %d; executed prefix achieving it:\n", width)
+	count := 0
+	for v, in := range set {
+		if in {
+			count++
+			fmt.Printf("  %d", v)
+			if count%12 == 0 {
+				fmt.Println()
+			}
+		}
+	}
+	fmt.Printf("\n(%d of %d vertices executed)\n", count, g.NumVertices())
+}
+
+func printLevels(g *dag.Graph) {
+	for i, level := range g.Levels() {
+		fmt.Printf("level %3d: %d vertices\n", i, len(level))
+	}
+}

@@ -1,0 +1,98 @@
+package lhws_test
+
+import (
+	"fmt"
+
+	"lhws"
+)
+
+// ExampleRunLHWS schedules the paper's Figure-1 dag — a fork whose right
+// branch waits on user input — under the latency-hiding scheduler.
+func ExampleRunLHWS() {
+	b := lhws.NewDAGBuilder()
+	fork := b.Vertex("fork")
+	mul := b.Vertex("y=6*7")
+	input := b.Vertex("input")
+	double := b.Vertex("x=2*x")
+	add := b.Vertex("x+y")
+	b.Light(fork, mul)
+	b.Light(fork, input)
+	b.Heavy(input, double, 100) // reading input takes 100 steps
+	b.Light(mul, add)
+	b.Light(double, add)
+	g := b.MustGraph()
+
+	res, err := lhws.RunLHWS(g, lhws.SchedOptions{Workers: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("work:", res.Stats.UserWork)
+	fmt.Println("suspended at once:", res.Stats.MaxSuspended)
+	// Output:
+	// work: 5
+	// suspended at once: 1
+}
+
+// ExampleGraph_SuspensionWidth computes the §5 suspension widths: n for
+// the distributed map-reduce, 1 for the server.
+func ExampleGraph_SuspensionWidth() {
+	mr := lhws.MapReduce(lhws.MapReduceConfig{N: 16, Delta: 50, FibWork: 3})
+	srv := lhws.Server(lhws.ServerConfig{Requests: 16, Delta: 50, FibWork: 3})
+	fmt.Println("map-reduce U:", mr.G.SuspensionWidth())
+	fmt.Println("server U:", srv.G.SuspensionWidth())
+	// Output:
+	// map-reduce U: 16
+	// server U: 1
+}
+
+// ExampleRunGreedy demonstrates the Theorem-1 guarantee: greedy schedules
+// never exceed W/P + S rounds.
+func ExampleRunGreedy() {
+	g := lhws.Fib(10).G
+	res, err := lhws.RunGreedy(g, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("within bound:", res.Stats.Rounds <= lhws.GreedyBound(g, 4))
+	// Output:
+	// within bound: true
+}
+
+// ExampleRunTasks runs real code on the latency-hiding runtime: the
+// spawned fetch suspends its task, not its worker.
+func ExampleRunTasks() {
+	var result int
+	_, err := lhws.RunTasks(lhws.RuntimeConfig{Workers: 2, Mode: lhws.LatencyHiding}, func(c *lhws.Ctx) {
+		remote := lhws.SpawnValue(c, func(cc *lhws.Ctx) int {
+			cc.Latency(1e6) // 1ms remote call
+			return 2 * 21
+		})
+		local := 6 * 7
+		result = local + remote.Await(c)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(result)
+	// Output:
+	// 84
+}
+
+// ExampleParallelMapReduce is §5's distributed map-reduce as one call.
+func ExampleParallelMapReduce() {
+	var sum int
+	_, err := lhws.RunTasks(lhws.RuntimeConfig{Workers: 4, Mode: lhws.LatencyHiding}, func(c *lhws.Ctx) {
+		sum = lhws.ParallelMapReduce(c, 0, 100, 0,
+			func(cc *lhws.Ctx, i int) int {
+				cc.Latency(1e5) // fetch element i
+				return i
+			},
+			func(a, b int) int { return a + b })
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sum)
+	// Output:
+	// 4950
+}

@@ -1,0 +1,3 @@
+module lhws
+
+go 1.24

@@ -1,0 +1,141 @@
+package dag
+
+import "fmt"
+
+// Builder incrementally constructs a Graph. The zero value is unusable;
+// create one with NewBuilder. Builders are not safe for concurrent use.
+//
+// Edge order determines child roles: the first edge added from a vertex
+// leads to its left child (the continuation), the second to its right child
+// (the spawned thread), per the convention of §2. Use the explicit Fork
+// helper when the distinction matters.
+type Builder struct {
+	out    [][]OutEdge
+	inDeg  []int32
+	labels []string
+	frozen bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Vertex adds a vertex with an optional label and returns its ID.
+func (b *Builder) Vertex(label string) VertexID {
+	b.check()
+	id := VertexID(len(b.out))
+	b.out = append(b.out, nil)
+	b.inDeg = append(b.inDeg, 0)
+	b.labels = append(b.labels, label)
+	return id
+}
+
+// Vertices adds n unlabeled vertices and returns their IDs.
+func (b *Builder) Vertices(n int) []VertexID {
+	ids := make([]VertexID, n)
+	for i := range ids {
+		ids[i] = b.Vertex("")
+	}
+	return ids
+}
+
+// Edge adds an edge u→v with latency weight (≥ 1). A weight of 1 is a
+// light edge; larger weights are heavy edges. It panics on invalid
+// endpoints, weights < 1, or if u already has two out-edges.
+func (b *Builder) Edge(u, v VertexID, weight int64) {
+	b.check()
+	if int(u) >= len(b.out) || int(v) >= len(b.out) || u < 0 || v < 0 {
+		panic(fmt.Sprintf("dag: edge endpoint out of range (%d -> %d, %d vertices)", u, v, len(b.out)))
+	}
+	if weight < 1 {
+		panic(fmt.Sprintf("dag: edge weight %d < 1", weight))
+	}
+	if u == v {
+		panic("dag: self edge")
+	}
+	if len(b.out[u]) >= 2 {
+		panic(fmt.Sprintf("dag: vertex %d would exceed out-degree 2", u))
+	}
+	b.out[u] = append(b.out[u], OutEdge{To: v, Weight: weight})
+	b.inDeg[v]++
+}
+
+// Light adds a light (weight-1) edge u→v.
+func (b *Builder) Light(u, v VertexID) { b.Edge(u, v, 1) }
+
+// Heavy adds a heavy edge u→v with latency delta (> 1). Panics if
+// delta ≤ 1, since that would be a light edge.
+func (b *Builder) Heavy(u, v VertexID, delta int64) {
+	if delta <= 1 {
+		panic("dag: Heavy requires delta > 1")
+	}
+	b.Edge(u, v, delta)
+}
+
+// Chain adds a path of n new vertices connected by light edges, starting
+// after the given predecessor (use None for a fresh chain). It returns the
+// first and last vertex of the new chain.
+func (b *Builder) Chain(after VertexID, n int) (first, last VertexID) {
+	if n <= 0 {
+		panic("dag: Chain requires n > 0")
+	}
+	prev := after
+	for i := 0; i < n; i++ {
+		v := b.Vertex("")
+		if prev != None {
+			b.Light(prev, v)
+		} else {
+			first = v
+		}
+		if i == 0 {
+			first = v
+		}
+		prev = v
+	}
+	return first, prev
+}
+
+// Fork adds left and right children to u connected by light edges,
+// encoding "u spawns right and continues as left".
+func (b *Builder) Fork(u VertexID) (left, right VertexID) {
+	left = b.Vertex("")
+	right = b.Vertex("")
+	b.Light(u, left)
+	b.Light(u, right)
+	return left, right
+}
+
+// Join adds a join vertex with light in-edges from both a and b.
+func (b *Builder) Join(x, y VertexID) VertexID {
+	j := b.Vertex("")
+	b.Light(x, j)
+	b.Light(y, j)
+	return j
+}
+
+// Graph validates the constructed dag and returns it. After a successful
+// call the Builder is frozen and must not be reused. Use MustGraph in
+// code where the structure is known correct by construction.
+func (b *Builder) Graph() (*Graph, error) {
+	b.check()
+	g := &Graph{out: b.out, inDeg: b.inDeg, labels: b.labels}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	b.frozen = true
+	return g, nil
+}
+
+// MustGraph is Graph but panics on validation failure.
+func (b *Builder) MustGraph() *Graph {
+	g, err := b.Graph()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (b *Builder) check() {
+	if b.frozen {
+		panic("dag: Builder reused after Graph()")
+	}
+}

@@ -1,0 +1,70 @@
+package dag
+
+// Composition combinators: build larger computations from validated
+// sub-dags. Vertices of the operands are copied into the result with their
+// IDs offset; labels and edge weights are preserved.
+
+// Sequence returns g1 ; g2 — the final vertex of g1 connected to the root
+// of g2 by an edge of the given weight (1 for plain sequencing, >1 to
+// model a latency-incurring handoff such as writing g1's result to remote
+// storage that g2 reads).
+func Sequence(g1, g2 *Graph, weight int64) *Graph {
+	b := NewBuilder()
+	off1 := copyInto(b, g1)
+	off2 := copyInto(b, g2)
+	b.Edge(off1+g1.Final(), off2+g2.Root(), weight)
+	return b.MustGraph()
+}
+
+// Parallel returns g1 ∥ g2 — a new fork vertex spawning both dags (g1 as
+// the left/continuation branch, g2 as the right/spawned branch) and a new
+// join vertex awaiting both.
+func Parallel(g1, g2 *Graph) *Graph {
+	b := NewBuilder()
+	fork := b.Vertex("fork")
+	off1 := copyInto(b, g1)
+	off2 := copyInto(b, g2)
+	b.Light(fork, off1+g1.Root())
+	b.Light(fork, off2+g2.Root())
+	b.Join(off1+g1.Final(), off2+g2.Final())
+	return b.MustGraph()
+}
+
+// ParallelAll folds Parallel over one or more dags, producing a balanced
+// fork tree (left-leaning join order).
+func ParallelAll(gs ...*Graph) *Graph {
+	if len(gs) == 0 {
+		panic("dag: ParallelAll requires at least one graph")
+	}
+	if len(gs) == 1 {
+		return gs[0]
+	}
+	mid := len(gs) / 2
+	return Parallel(ParallelAll(gs[:mid]...), ParallelAll(gs[mid:]...))
+}
+
+// WithEntryLatency prefixes g with a vertex whose heavy out-edge (weight
+// delta) leads to g's root: "fetch, then compute" — the §5 leaf pattern as
+// a combinator.
+func WithEntryLatency(g *Graph, label string, delta int64) *Graph {
+	b := NewBuilder()
+	v := b.Vertex(label)
+	off := copyInto(b, g)
+	b.Edge(v, off+g.Root(), delta)
+	return b.MustGraph()
+}
+
+// copyInto appends all of g's vertices and edges to the builder and
+// returns the ID offset at which they were placed.
+func copyInto(b *Builder, g *Graph) VertexID {
+	off := VertexID(len(b.out))
+	for v := 0; v < g.NumVertices(); v++ {
+		b.Vertex(g.Label(VertexID(v)))
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, e := range g.OutEdges(VertexID(v)) {
+			b.Edge(off+VertexID(v), off+e.To, e.Weight)
+		}
+	}
+	return off
+}

@@ -1,0 +1,214 @@
+package dag
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lhws/internal/rng"
+)
+
+func chainN(n int) *Graph {
+	b := NewBuilder()
+	b.Chain(None, n)
+	return b.MustGraph()
+}
+
+func TestSequenceMetrics(t *testing.T) {
+	g := Sequence(chainN(3), chainN(4), 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Work() != 7 || g.Span() != 7 {
+		t.Fatalf("W=%d S=%d, want 7,7", g.Work(), g.Span())
+	}
+}
+
+func TestSequenceWithLatency(t *testing.T) {
+	g := Sequence(chainN(3), chainN(4), 10)
+	if g.Work() != 7 {
+		t.Fatalf("W = %d, want 7 (latency is not work)", g.Work())
+	}
+	// Span: 2 edges + 10 + 3 edges + 1 vertex unit = 16.
+	if g.Span() != 16 {
+		t.Fatalf("S = %d, want 16", g.Span())
+	}
+	if g.SuspensionWidth() != 1 {
+		t.Fatalf("U = %d, want 1", g.SuspensionWidth())
+	}
+}
+
+func TestParallelMetrics(t *testing.T) {
+	g := Parallel(chainN(5), chainN(3))
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Work() != 10 { // 5 + 3 + fork + join
+		t.Fatalf("W = %d, want 10", g.Work())
+	}
+	if g.Span() != 7 { // fork + longest branch (5) + join
+		t.Fatalf("S = %d, want 7", g.Span())
+	}
+}
+
+func TestParallelChildOrder(t *testing.T) {
+	g := Parallel(chainN(2), chainN(2))
+	root := g.Root()
+	edges := g.OutEdges(root)
+	if len(edges) != 2 {
+		t.Fatalf("fork out-degree %d", len(edges))
+	}
+	// Left branch (continuation) is g1, copied first, so its root has the
+	// smaller ID.
+	if edges[0].To > edges[1].To {
+		t.Fatal("left/right child order not preserved")
+	}
+}
+
+func TestParallelAll(t *testing.T) {
+	gs := make([]*Graph, 7)
+	for i := range gs {
+		gs[i] = chainN(i + 1)
+	}
+	g := ParallelAll(gs...)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Work: Σ chains (28) + 6 forks + 6 joins.
+	if g.Work() != 28+12 {
+		t.Fatalf("W = %d, want 40", g.Work())
+	}
+}
+
+func TestParallelAllSingle(t *testing.T) {
+	g := chainN(4)
+	if got := ParallelAll(g); got != g {
+		t.Fatal("single-operand ParallelAll should return the operand")
+	}
+}
+
+func TestParallelAllEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ParallelAll()
+}
+
+func TestWithEntryLatency(t *testing.T) {
+	g := WithEntryLatency(chainN(4), "fetch", 25)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Label(g.Root()) != "fetch" {
+		t.Fatal("entry label lost")
+	}
+	// Path: fetch --25--> c1 -> c2 -> c3 -> c4: edge sum 28, plus one
+	// vertex unit.
+	if g.Span() != 29 {
+		t.Fatalf("S = %d, want 29", g.Span())
+	}
+	if g.SuspensionWidth() != 1 {
+		t.Fatalf("U = %d", g.SuspensionWidth())
+	}
+}
+
+// TestComposeMapReduceEquivalent rebuilds the §5 map-reduce from
+// combinators and checks it has the same metrics as the generator's shape:
+// n parallel fetch+compute branches.
+func TestComposeMapReduceEquivalent(t *testing.T) {
+	const n = 16
+	branches := make([]*Graph, n)
+	for i := range branches {
+		branches[i] = WithEntryLatency(chainN(5), "get", 40)
+	}
+	g := ParallelAll(branches...)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.SuspensionWidth(); got != n {
+		t.Fatalf("U = %d, want %d", got, n)
+	}
+}
+
+// TestComposePreservesLabelsAndWeights round-trips a random dag through
+// Parallel with itself and checks both copies are intact.
+func TestComposePreservesLabelsAndWeights(t *testing.T) {
+	r := rng.New(13)
+	for i := 0; i < 20; i++ {
+		g := randomDag(r, 30)
+		p := Parallel(g, g)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("dag %d: %v", i, err)
+		}
+		if p.Work() != 2*g.Work()+2 {
+			t.Fatalf("dag %d: W = %d, want %d", i, p.Work(), 2*g.Work()+2)
+		}
+		if p.HeavyEdges() != 2*g.HeavyEdges() {
+			t.Fatalf("dag %d: heavy edges not duplicated", i)
+		}
+		if p.Span() != g.Span()+2 {
+			t.Fatalf("dag %d: S = %d, want %d", i, p.Span(), g.Span()+2)
+		}
+	}
+}
+
+// TestComposedGraphsSchedule runs a composed dag end to end through
+// validation; scheduling correctness is covered by the sched fuzzers,
+// which consume arbitrary valid dags.
+func TestComposedGraphsSchedule(t *testing.T) {
+	g := Sequence(
+		Parallel(chainN(6), WithEntryLatency(chainN(2), "get", 12)),
+		chainN(3),
+		9,
+	)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.SuspensionWidth() != 1 {
+		t.Fatalf("U = %d, want 1 (two heavy edges, serialized)", g.SuspensionWidth())
+	}
+}
+
+// Property tests: composition algebra identities over random operands.
+func TestComposeAlgebraProperties(t *testing.T) {
+	if err := quick.Check(func(seed1, seed2 uint64) bool {
+		r1, r2 := rng.New(seed1), rng.New(seed2)
+		g1, g2 := randomDag(r1, 25), randomDag(r2, 25)
+
+		seq := Sequence(g1, g2, 1)
+		if seq.Work() != g1.Work()+g2.Work() {
+			return false
+		}
+		if seq.Span() != g1.Span()+g2.Span() {
+			return false
+		}
+		// Sequential composition cannot widen suspensions.
+		maxU := g1.SuspensionWidth()
+		if u2 := g2.SuspensionWidth(); u2 > maxU {
+			maxU = u2
+		}
+		if seq.SuspensionWidth() > maxU {
+			return false
+		}
+
+		par := Parallel(g1, g2)
+		if par.Work() != g1.Work()+g2.Work()+2 {
+			return false
+		}
+		longer := g1.Span()
+		if g2.Span() > longer {
+			longer = g2.Span()
+		}
+		if par.Span() != longer+2 {
+			return false
+		}
+		// Parallel composition adds suspension widths.
+		if par.SuspensionWidth() != g1.SuspensionWidth()+g2.SuspensionWidth() {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,611 @@
+package dag
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lhws/internal/rng"
+)
+
+// figure1 builds the example dag of Figure 1: a fork where the right
+// branch reads input (incurring latency delta) and doubles it, the left
+// branch computes 6*7, and the branches join at an addition.
+func figure1(delta int64) *Graph {
+	b := NewBuilder()
+	fork := b.Vertex("fork")
+	mul := b.Vertex("y=6*7")    // left: continuation
+	input := b.Vertex("input")  // right: spawned thread
+	double := b.Vertex("x=2*x") // waits delta after input
+	add := b.Vertex("x+y")
+	b.Light(fork, mul)
+	b.Light(fork, input)
+	b.Heavy(input, double, delta)
+	b.Light(mul, add)
+	b.Light(double, add)
+	return b.MustGraph()
+}
+
+func TestFigure1Metrics(t *testing.T) {
+	g := figure1(10)
+	if got := g.Work(); got != 5 {
+		t.Errorf("Work = %d, want 5", got)
+	}
+	// Longest weighted path: fork ->1 input ->10 double ->1 add = 12 edges
+	// weight, +1 vertex unit = 13.
+	if got := g.Span(); got != 13 {
+		t.Errorf("Span = %d, want 13", got)
+	}
+	if got := g.UnweightedSpan(); got != 4 {
+		t.Errorf("UnweightedSpan = %d, want 4", got)
+	}
+	if got := g.SuspensionWidth(); got != 1 {
+		t.Errorf("U = %d, want 1", got)
+	}
+	if got := g.HeavyEdges(); got != 1 {
+		t.Errorf("HeavyEdges = %d, want 1", got)
+	}
+	if got := g.TotalLatency(); got != 9 {
+		t.Errorf("TotalLatency = %d, want 9", got)
+	}
+}
+
+func TestFigure1CriticalPath(t *testing.T) {
+	g := figure1(10)
+	path := g.CriticalPath()
+	want := []string{"fork", "input", "x=2*x", "x+y"}
+	if len(path) != len(want) {
+		t.Fatalf("critical path %v, want labels %v", path, want)
+	}
+	for i, v := range path {
+		if g.Label(v) != want[i] {
+			t.Errorf("path[%d] = %q, want %q", i, g.Label(v), want[i])
+		}
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	b := NewBuilder()
+	b.Vertex("only")
+	g := b.MustGraph()
+	if g.Work() != 1 || g.Span() != 1 || g.SuspensionWidth() != 0 {
+		t.Errorf("single vertex: W=%d S=%d U=%d, want 1,1,0", g.Work(), g.Span(), g.SuspensionWidth())
+	}
+	if g.Root() != g.Final() {
+		t.Error("root and final should coincide")
+	}
+}
+
+func TestChainMetrics(t *testing.T) {
+	b := NewBuilder()
+	first, last := b.Chain(None, 10)
+	g := b.MustGraph()
+	if g.Work() != 10 || g.Span() != 10 {
+		t.Errorf("chain: W=%d S=%d, want 10,10", g.Work(), g.Span())
+	}
+	if g.Root() != first || g.Final() != last {
+		t.Error("chain endpoints wrong")
+	}
+	if g.AvgParallelism() != 1.0 {
+		t.Errorf("chain parallelism = %v, want 1", g.AvgParallelism())
+	}
+}
+
+func TestForkJoinHelpers(t *testing.T) {
+	b := NewBuilder()
+	root := b.Vertex("root")
+	l, r := b.Fork(root)
+	b.Join(l, r)
+	g := b.MustGraph()
+	if g.Work() != 4 || g.Span() != 3 {
+		t.Errorf("diamond: W=%d S=%d, want 4,3", g.Work(), g.Span())
+	}
+	// Left child ordering: first out-edge of root is the left child.
+	if g.OutEdges(root)[0].To != l || g.OutEdges(root)[1].To != r {
+		t.Error("fork child order violated")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		_, err := NewBuilder().Graph()
+		if !errors.Is(err, ErrEmpty) {
+			t.Fatalf("err = %v, want ErrEmpty", err)
+		}
+	})
+	t.Run("two roots", func(t *testing.T) {
+		b := NewBuilder()
+		a := b.Vertex("")
+		c := b.Vertex("")
+		j := b.Vertex("")
+		b.Light(a, j)
+		b.Light(c, j)
+		_, err := b.Graph()
+		if !errors.Is(err, ErrMultipleRoots) {
+			t.Fatalf("err = %v, want ErrMultipleRoots", err)
+		}
+	})
+	t.Run("two finals", func(t *testing.T) {
+		b := NewBuilder()
+		a := b.Vertex("")
+		b.Fork(a)
+		_, err := b.Graph()
+		if !errors.Is(err, ErrMultipleFinals) {
+			t.Fatalf("err = %v, want ErrMultipleFinals", err)
+		}
+	})
+	t.Run("heavy in-degree", func(t *testing.T) {
+		b := NewBuilder()
+		root := b.Vertex("")
+		l, r := b.Fork(root)
+		j := b.Vertex("")
+		b.Heavy(l, j, 5)
+		b.Light(r, j)
+		_, err := b.Graph()
+		if !errors.Is(err, ErrHeavyInDegree) {
+			t.Fatalf("err = %v, want ErrHeavyInDegree", err)
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		// A cycle cannot be built with out-degree<=2 builder checks alone;
+		// construct 3 vertices in a cycle plus root/final to pass degree
+		// checks... a pure cycle has no root, caught as ErrMultipleRoots.
+		// Build root -> a -> b -> a: b and a form a cycle; a has indeg 2.
+		b := NewBuilder()
+		root := b.Vertex("")
+		a := b.Vertex("")
+		c := b.Vertex("")
+		fin := b.Vertex("")
+		b.Light(root, a)
+		b.Light(a, c)
+		b.Light(c, a)
+		b.Light(c, fin)
+		_, err := b.Graph()
+		if !errors.Is(err, ErrCycle) {
+			t.Fatalf("err = %v, want ErrCycle", err)
+		}
+	})
+	t.Run("unreachable", func(t *testing.T) {
+		// Two disjoint chains: second chain's head is another root, caught
+		// by the roots check; instead make an island that flows into the
+		// main final but is not reachable from the main root... that is a
+		// second root too. True unreachability without extra roots cannot
+		// occur in a dag, so ErrUnreachable guards future mutations only.
+		t.Skip("unreachable implies a second root in a dag; covered by roots check")
+	})
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"weight zero", func() {
+			b := NewBuilder()
+			u, v := b.Vertex(""), b.Vertex("")
+			b.Edge(u, v, 0)
+		}},
+		{"self edge", func() {
+			b := NewBuilder()
+			u := b.Vertex("")
+			b.Edge(u, u, 1)
+		}},
+		{"out-degree three", func() {
+			b := NewBuilder()
+			u := b.Vertex("")
+			b.Fork(u)
+			w := b.Vertex("")
+			b.Light(u, w)
+		}},
+		{"heavy with delta 1", func() {
+			b := NewBuilder()
+			u, v := b.Vertex(""), b.Vertex("")
+			b.Heavy(u, v, 1)
+		}},
+		{"out of range", func() {
+			b := NewBuilder()
+			u := b.Vertex("")
+			b.Edge(u, VertexID(99), 1)
+		}},
+		{"reuse after Graph", func() {
+			b := NewBuilder()
+			b.Vertex("")
+			b.MustGraph()
+			b.Vertex("")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestTopoSortOrder(t *testing.T) {
+	g := figure1(5)
+	order, ok := g.TopoSort()
+	if !ok {
+		t.Fatal("TopoSort reported cycle on dag")
+	}
+	pos := make(map[VertexID]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, e := range g.OutEdges(VertexID(u)) {
+			if pos[VertexID(u)] >= pos[e.To] {
+				t.Errorf("topo order violates edge %d->%d", u, e.To)
+			}
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := figure1(5)
+	levels := g.Levels()
+	if len(levels) != 4 {
+		t.Fatalf("got %d levels, want 4", len(levels))
+	}
+	if len(levels[0]) != 1 || g.Label(levels[0][0]) != "fork" {
+		t.Errorf("level 0 = %v, want [fork]", levels[0])
+	}
+	total := 0
+	for _, lv := range levels {
+		total += len(lv)
+	}
+	if total != g.NumVertices() {
+		t.Errorf("levels cover %d vertices, want %d", total, g.NumVertices())
+	}
+}
+
+func TestParents(t *testing.T) {
+	g := figure1(5)
+	parents := g.Parents()
+	add := g.Final()
+	if len(parents[add]) != 2 {
+		t.Errorf("final has %d parents, want 2", len(parents[add]))
+	}
+	if len(parents[g.Root()]) != 0 {
+		t.Error("root has parents")
+	}
+}
+
+// mapReduceDag builds the §5 distributed map-reduce dag shape directly:
+// a balanced fork tree over n leaves, each leaf a getValue vertex with a
+// heavy out-edge to a compute vertex, results joined by a reduction tree.
+func mapReduceDag(t *testing.T, n int, delta int64) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	var rec func(count int) (first, last VertexID)
+	rec = func(count int) (VertexID, VertexID) {
+		if count == 1 {
+			get := b.Vertex("get")
+			f := b.Vertex("f")
+			b.Heavy(get, f, delta)
+			return get, f
+		}
+		half := count / 2
+		fork := b.Vertex("fork")
+		lf, ll := rec(half)
+		rf, rl := rec(count - half)
+		b.Light(fork, lf)
+		b.Light(fork, rf)
+		join := b.Join(ll, rl)
+		return fork, join
+	}
+	rec(n)
+	g, err := b.Graph()
+	if err != nil {
+		t.Fatalf("mapReduceDag invalid: %v", err)
+	}
+	return g
+}
+
+func TestMapReduceSuspensionWidthIsN(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8, 16, 33} {
+		g := mapReduceDag(t, n, 50)
+		if got := g.SuspensionWidth(); got != n {
+			t.Errorf("n=%d: U = %d, want %d", n, got, n)
+		}
+	}
+}
+
+// serverDag builds the §5 server dag: a chain of getInput vertices, each
+// with a heavy edge to the next stage; only one request is outstanding at
+// a time, so U = 1.
+func serverDag(t *testing.T, requests int, delta int64) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	prev := None
+	var joins []VertexID
+	for i := 0; i < requests; i++ {
+		get := b.Vertex("get")
+		if prev != None {
+			b.Light(prev, get)
+		}
+		next := b.Vertex("recv")
+		b.Heavy(get, next, delta)
+		f1, f2 := b.Fork(next)
+		joins = append(joins, f1) // f(input) work
+		prev = f2                 // recursive server call
+	}
+	// Fold the f(x) branches and the tail into a join chain.
+	acc := prev
+	for i := len(joins) - 1; i >= 0; i-- {
+		acc = b.Join(joins[i], acc)
+	}
+	g, err := b.Graph()
+	if err != nil {
+		t.Fatalf("serverDag invalid: %v", err)
+	}
+	return g
+}
+
+func TestServerSuspensionWidthIsOne(t *testing.T) {
+	for _, reqs := range []int{1, 2, 5, 10} {
+		g := serverDag(t, reqs, 100)
+		if got := g.SuspensionWidth(); got != 1 {
+			t.Errorf("requests=%d: U = %d, want 1", reqs, got)
+		}
+	}
+}
+
+// randomDag builds a small random fork-join dag with random heavy edges,
+// valid per §2 by construction.
+func randomDag(r *rng.RNG, maxVerts int) *Graph {
+	b := NewBuilder()
+	root := b.Vertex("")
+	frontier := []VertexID{root}
+	budget := 2 + r.Intn(maxVerts)
+	for len(frontier) > 0 && budget > 0 {
+		// Pick a frontier vertex and either extend, fork, or join.
+		i := r.Intn(len(frontier))
+		v := frontier[i]
+		switch {
+		case len(frontier) >= 2 && r.Float64() < 0.3:
+			j := r.Intn(len(frontier) - 1)
+			if j >= i {
+				j++
+			}
+			u := frontier[j]
+			jn := b.Join(v, u)
+			// Remove v and u, add jn.
+			nf := frontier[:0]
+			for _, w := range frontier {
+				if w != v && w != u {
+					nf = append(nf, w)
+				}
+			}
+			frontier = append(nf, jn)
+			budget--
+		case r.Float64() < 0.35:
+			l, rgt := b.Fork(v)
+			frontier[i] = l
+			frontier = append(frontier, rgt)
+			budget -= 2
+		default:
+			w := b.Vertex("")
+			if r.Float64() < 0.4 {
+				b.Heavy(v, w, int64(2+r.Intn(20)))
+			} else {
+				b.Light(v, w)
+			}
+			frontier[i] = w
+			budget--
+		}
+	}
+	// Join remaining frontier down to one final vertex.
+	for len(frontier) > 1 {
+		jn := b.Join(frontier[len(frontier)-1], frontier[len(frontier)-2])
+		frontier = frontier[:len(frontier)-2]
+		frontier = append(frontier, jn)
+	}
+	return b.MustGraph()
+}
+
+func TestRandomDagsValid(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		g := randomDag(r, 40)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("random dag %d invalid: %v", i, err)
+		}
+	}
+}
+
+// TestSuspensionWidthMatchesBruteForce cross-checks the flow-based exact
+// computation against exhaustive downset enumeration.
+func TestSuspensionWidthMatchesBruteForce(t *testing.T) {
+	r := rng.New(99)
+	checked := 0
+	for i := 0; i < 400 && checked < 120; i++ {
+		g := randomDag(r, 14)
+		if g.NumVertices() > 22 {
+			continue
+		}
+		checked++
+		fast := g.SuspensionWidth()
+		slow := g.suspensionWidthBrute()
+		if fast != slow {
+			t.Fatalf("dag %d (%s): flow U=%d brute U=%d\n%s", i, g, fast, slow, g.DOT(""))
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d dags small enough for brute force", checked)
+	}
+}
+
+func TestMaxWidthPrefixIsConsistent(t *testing.T) {
+	r := rng.New(123)
+	for i := 0; i < 50; i++ {
+		g := randomDag(r, 30)
+		set, width := g.MaxWidthPrefix()
+		if width != g.SuspensionWidth() {
+			t.Fatalf("prefix width %d != U %d", width, g.SuspensionWidth())
+		}
+		// Verify the prefix is a downset and count crossing heavy edges.
+		parents := g.Parents()
+		crossing := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			if set[v] {
+				for _, p := range parents[v] {
+					if !set[p] {
+						t.Fatal("prefix not predecessor-closed")
+					}
+				}
+				for _, e := range g.OutEdges(VertexID(v)) {
+					if e.Heavy() && !set[e.To] {
+						crossing++
+					}
+				}
+			}
+		}
+		if crossing != width {
+			t.Fatalf("prefix crossing %d != width %d", crossing, width)
+		}
+	}
+}
+
+// Property: span bounds. S >= UnweightedSpan, S <= UnweightedSpan + total
+// latency, W >= S - totalLatency.
+func TestSpanProperties(t *testing.T) {
+	fn := func(seed uint64) bool {
+		g := randomDag(rng.New(seed), 40)
+		s, us := g.Span(), g.UnweightedSpan()
+		if s < us {
+			return false
+		}
+		if s > us+g.TotalLatency() {
+			return false
+		}
+		return int64(len(g.CriticalPath())) <= us
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: U is between 0 and the number of heavy edges.
+func TestSuspensionWidthBounds(t *testing.T) {
+	fn := func(seed uint64) bool {
+		g := randomDag(rng.New(seed), 40)
+		u := g.SuspensionWidth()
+		if u < 0 || u > g.HeavyEdges() {
+			return false
+		}
+		// If there is at least one heavy edge, U >= 1 (the prefix of that
+		// edge's ancestors realizes it).
+		return g.HeavyEdges() == 0 || u >= 1
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthsMonotone(t *testing.T) {
+	r := rng.New(5)
+	for i := 0; i < 50; i++ {
+		g := randomDag(r, 30)
+		depths := g.Depths()
+		for u := 0; u < g.NumVertices(); u++ {
+			for _, e := range g.OutEdges(VertexID(u)) {
+				if depths[e.To] < depths[u]+e.Weight {
+					t.Fatalf("depth not monotone along edge %d->%d", u, e.To)
+				}
+			}
+		}
+		if depths[g.Root()] != 0 {
+			t.Fatal("root depth nonzero")
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := figure1(7)
+	dot := g.DOT("fig1")
+	for _, want := range []string{"digraph \"fig1\"", "penwidth=2.5", "δ=7", "fork"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestSummaryMentionsMetrics(t *testing.T) {
+	g := figure1(7)
+	s := g.Summary()
+	for _, want := range []string{"W=5", "U=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestEdgeLookup(t *testing.T) {
+	g := figure1(7)
+	// Edge from the input vertex to the double vertex has weight 7.
+	var input VertexID = None
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Label(VertexID(v)) == "input" {
+			input = VertexID(v)
+		}
+	}
+	if input == None {
+		t.Fatal("input vertex not found")
+	}
+	e := g.OutEdges(input)[0]
+	w, ok := g.Edge(input, e.To)
+	if !ok || w != 7 {
+		t.Fatalf("Edge = %d,%v want 7,true", w, ok)
+	}
+	if _, ok := g.Edge(input, input); ok {
+		t.Fatal("nonexistent edge reported present")
+	}
+}
+
+func BenchmarkSuspensionWidthMapReduce(b *testing.B) {
+	g := mapReduceDagBench(1000, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.SuspensionWidth() != 1000 {
+			b.Fatal("wrong U")
+		}
+	}
+}
+
+func mapReduceDagBench(n int, delta int64) *Graph {
+	b := NewBuilder()
+	var rec func(count int) (VertexID, VertexID)
+	rec = func(count int) (VertexID, VertexID) {
+		if count == 1 {
+			get := b.Vertex("")
+			f := b.Vertex("")
+			b.Heavy(get, f, delta)
+			return get, f
+		}
+		half := count / 2
+		fork := b.Vertex("")
+		lf, ll := rec(half)
+		rf, rl := rec(count - half)
+		b.Light(fork, lf)
+		b.Light(fork, rf)
+		return fork, b.Join(ll, rl)
+	}
+	rec(n)
+	return b.MustGraph()
+}
+
+func BenchmarkValidate(b *testing.B) {
+	g := mapReduceDagBench(1000, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz DOT format. Heavy edges are drawn bold
+// and labeled with their latency, mirroring the paper's figures (light
+// edges thin and unlabeled, heavy edges thick).
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	if name == "" {
+		name = "dag"
+	}
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle, fontsize=10];\n")
+	for v := 0; v < g.NumVertices(); v++ {
+		label := g.Label(VertexID(v))
+		if label == "" {
+			label = fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintf(&b, "  v%d [label=%q];\n", v, label)
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, e := range g.out[u] {
+			if e.Heavy() {
+				fmt.Fprintf(&b, "  v%d -> v%d [penwidth=2.5, label=\"δ=%d\"];\n", u, e.To, e.Weight)
+			} else {
+				fmt.Fprintf(&b, "  v%d -> v%d;\n", u, e.To)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Summary returns a one-line metrics summary: work, span, suspension
+// width, and average parallelism.
+func (g *Graph) Summary() string {
+	return fmt.Sprintf("W=%d S=%d U=%d heavy=%d parallelism=%.1f",
+		g.Work(), g.Span(), g.SuspensionWidth(), g.HeavyEdges(), g.AvgParallelism())
+}

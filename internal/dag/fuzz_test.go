@@ -1,0 +1,67 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"lhws/internal/rng"
+)
+
+// FuzzDecode throws arbitrary text at the dag parser: it must never panic,
+// and anything it accepts must be a structurally valid graph that
+// round-trips.
+func FuzzDecode(f *testing.F) {
+	f.Add("v 0\nv 1\ne 0 1 1\n")
+	f.Add("# comment\nv 0 label here\nv 1\ne 0 1 9\n")
+	f.Add(figure1(7).Text())
+	f.Add("v 0\n")
+	f.Add("e 0 1 1\n")
+	f.Add("v x y z\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		g, err := Decode(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if vErr := g.Validate(); vErr != nil {
+			t.Fatalf("Decode accepted an invalid graph: %v", vErr)
+		}
+		g2, err := Decode(strings.NewReader(g.Text()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g.NumVertices() != g2.NumVertices() || g.NumEdges() != g2.NumEdges() {
+			t.Fatal("round trip changed the graph")
+		}
+		if g.Span() != g2.Span() {
+			t.Fatal("round trip changed the span")
+		}
+	})
+}
+
+// FuzzMetricsConsistency generates random dags from a seed and checks the
+// metric relationships that must always hold.
+func FuzzMetricsConsistency(f *testing.F) {
+	f.Add(uint64(1), uint8(20))
+	f.Add(uint64(99), uint8(200))
+	f.Fuzz(func(t *testing.T, seed uint64, sizeRaw uint8) {
+		g := randomDag(rng.New(seed), 1+int(sizeRaw))
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generator produced invalid dag: %v", err)
+		}
+		w, s, us := g.Work(), g.Span(), g.UnweightedSpan()
+		if s < us {
+			t.Fatalf("weighted span %d < unweighted %d", s, us)
+		}
+		if us > w {
+			t.Fatalf("unweighted span %d > work %d", us, w)
+		}
+		u := g.SuspensionWidth()
+		if u < 0 || u > g.HeavyEdges() {
+			t.Fatalf("U = %d out of [0, %d]", u, g.HeavyEdges())
+		}
+		if path := g.CriticalPath(); int64(len(path)) > us {
+			t.Fatalf("critical path longer than unweighted span")
+		}
+	})
+}

@@ -1,0 +1,152 @@
+// Package dag implements the weighted Directed Acyclic Graph model of
+// parallel computations from §2 of Muller & Acar, "Latency-Hiding Work
+// Stealing" (SPAA 2016).
+//
+// Vertices represent single instructions, each performing one unit of work.
+// Edges carry a positive integer latency δ: δ = 1 is a "light" edge (the
+// child may run immediately after the parent), δ > 1 is a "heavy" edge (the
+// child suspends and becomes ready only δ steps after the parent executes).
+//
+// The package provides the model's three measures —
+//
+//   - Work W: the number of vertices (edge weights excluded),
+//   - Span S: the longest weighted path, counting one unit per vertex plus
+//     the latencies of the edges along the path,
+//   - Suspension width U: the maximum number of heavy edges crossing an
+//     execution prefix (computed exactly in polynomial time via a
+//     maximum-weight-closure reduction, see SuspensionWidth) —
+//
+// along with construction, validation of the paper's structural
+// assumptions, topological utilities, and DOT export.
+package dag
+
+import (
+	"fmt"
+)
+
+// VertexID identifies a vertex within a Graph. IDs are dense: a graph with
+// n vertices uses IDs 0..n-1.
+type VertexID int32
+
+// None is the sentinel for "no vertex".
+const None VertexID = -1
+
+// OutEdge is a directed edge to a child vertex with latency Weight ≥ 1.
+// Weight == 1 is a light edge; Weight > 1 is a heavy edge whose target
+// suspends for Weight steps after the source executes.
+type OutEdge struct {
+	To     VertexID
+	Weight int64
+}
+
+// Heavy reports whether the edge carries latency (δ > 1).
+func (e OutEdge) Heavy() bool { return e.Weight > 1 }
+
+// Graph is an immutable weighted computation dag. Construct one with a
+// Builder; the zero value is an empty graph with no vertices.
+//
+// Children are ordered: index 0 is the left child (the continuation of the
+// executing thread) and index 1, if present, the right child (the first
+// instruction of a spawned thread), following the edge ordering convention
+// of §2.
+type Graph struct {
+	out    [][]OutEdge
+	inDeg  []int32
+	labels []string
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.out) }
+
+// Work returns W, the total computational work: the number of vertices.
+// Edge weights do not contribute (latency is not work).
+func (g *Graph) Work() int64 { return int64(len(g.out)) }
+
+// OutEdges returns the ordered out-edges of v. The returned slice is owned
+// by the graph and must not be modified.
+func (g *Graph) OutEdges(v VertexID) []OutEdge { return g.out[v] }
+
+// InDegree returns the number of in-edges of v.
+func (g *Graph) InDegree(v VertexID) int { return int(g.inDeg[v]) }
+
+// Label returns the optional human-readable label of v (may be empty).
+func (g *Graph) Label(v VertexID) string {
+	if int(v) < len(g.labels) {
+		return g.labels[v]
+	}
+	return ""
+}
+
+// Root returns the unique vertex with in-degree zero. It panics on graphs
+// that failed validation; use Validate first on untrusted input.
+func (g *Graph) Root() VertexID {
+	for v := range g.inDeg {
+		if g.inDeg[v] == 0 {
+			return VertexID(v)
+		}
+	}
+	panic("dag: graph has no root")
+}
+
+// Final returns the unique vertex with out-degree zero. It panics on
+// graphs that failed validation; use Validate first on untrusted input.
+func (g *Graph) Final() VertexID {
+	for v := range g.out {
+		if len(g.out[v]) == 0 {
+			return VertexID(v)
+		}
+	}
+	panic("dag: graph has no final vertex")
+}
+
+// NumEdges returns the total number of edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, es := range g.out {
+		n += len(es)
+	}
+	return n
+}
+
+// HeavyEdges returns the number of heavy edges (δ > 1). This is a trivial
+// upper bound on the suspension width U.
+func (g *Graph) HeavyEdges() int {
+	n := 0
+	for _, es := range g.out {
+		for _, e := range es {
+			if e.Heavy() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TotalLatency returns the sum over heavy edges of (δ − 1): the aggregate
+// latency present in the dag. Light edges contribute zero.
+func (g *Graph) TotalLatency() int64 {
+	var total int64
+	for _, es := range g.out {
+		for _, e := range es {
+			if e.Heavy() {
+				total += e.Weight - 1
+			}
+		}
+	}
+	return total
+}
+
+// Edge looks up the edge u→v and reports its weight.
+func (g *Graph) Edge(u, v VertexID) (weight int64, ok bool) {
+	for _, e := range g.out[u] {
+		if e.To == v {
+			return e.Weight, true
+		}
+	}
+	return 0, false
+}
+
+// String returns a short structural summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("dag{V=%d E=%d heavy=%d}", g.NumVertices(), g.NumEdges(), g.HeavyEdges())
+}

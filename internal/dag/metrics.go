@@ -1,0 +1,98 @@
+package dag
+
+// Depths returns dG(v) for every vertex: the length of the longest
+// weighted path from the root to v, where each edge contributes its
+// latency weight. The root has depth 0.
+func (g *Graph) Depths() []int64 {
+	order, ok := g.TopoSort()
+	if !ok {
+		panic("dag: Depths on cyclic graph")
+	}
+	depth := make([]int64, g.NumVertices())
+	for _, v := range order {
+		for _, e := range g.out[v] {
+			if d := depth[v] + e.Weight; d > depth[e.To] {
+				depth[e.To] = d
+			}
+		}
+	}
+	return depth
+}
+
+// Span returns S, the span of the weighted dag: the longest weighted path,
+// counting one unit of work per vertex on the path plus the latencies of
+// its edges. A single-vertex graph has span 1. For a dag with only light
+// edges this coincides with the traditional (vertex-counted) span.
+func (g *Graph) Span() int64 {
+	depths := g.Depths()
+	var max int64
+	for _, d := range depths {
+		if d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// UnweightedSpan returns the span ignoring latencies (every edge counted
+// as 1) — the traditional span of the underlying unweighted dag.
+func (g *Graph) UnweightedSpan() int64 {
+	order, ok := g.TopoSort()
+	if !ok {
+		panic("dag: UnweightedSpan on cyclic graph")
+	}
+	depth := make([]int64, g.NumVertices())
+	var max int64
+	for _, v := range order {
+		for _, e := range g.out[v] {
+			if d := depth[v] + 1; d > depth[e.To] {
+				depth[e.To] = d
+				if d > max {
+					max = d
+				}
+			}
+		}
+	}
+	return max + 1
+}
+
+// CriticalPath returns one longest weighted path from root to final as a
+// vertex sequence. Its weighted length plus one equals Span.
+func (g *Graph) CriticalPath() []VertexID {
+	order, _ := g.TopoSort()
+	n := g.NumVertices()
+	depth := make([]int64, n)
+	pred := make([]VertexID, n)
+	for i := range pred {
+		pred[i] = None
+	}
+	for _, v := range order {
+		for _, e := range g.out[v] {
+			if d := depth[v] + e.Weight; d > depth[e.To] {
+				depth[e.To] = d
+				pred[e.To] = v
+			}
+		}
+	}
+	deepest := VertexID(0)
+	for v := 1; v < n; v++ {
+		if depth[v] > depth[deepest] {
+			deepest = VertexID(v)
+		}
+	}
+	var rev []VertexID
+	for v := deepest; v != None; v = pred[v] {
+		rev = append(rev, v)
+	}
+	path := make([]VertexID, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return path
+}
+
+// AvgParallelism returns W/S, the average parallelism of the dag: the
+// maximum speedup any scheduler can achieve on it.
+func (g *Graph) AvgParallelism() float64 {
+	return float64(g.Work()) / float64(g.Span())
+}

@@ -1,0 +1,123 @@
+package dag
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Encode writes the graph in a line-oriented text format:
+//
+//	# comment (ignored)
+//	v <id> [label]        one line per vertex, ids dense and in order
+//	e <from> <to> <weight> one line per edge, in child order
+//
+// The format round-trips exactly through Decode, including child order
+// (left/right) and labels.
+func (g *Graph) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# lhws weighted dag: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		label := g.Label(VertexID(v))
+		if label == "" {
+			fmt.Fprintf(bw, "v %d\n", v)
+		} else {
+			fmt.Fprintf(bw, "v %d %s\n", v, label)
+		}
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, e := range g.out[u] {
+			fmt.Fprintf(bw, "e %d %d %d\n", u, e.To, e.Weight)
+		}
+	}
+	return bw.Flush()
+}
+
+// Text returns the Encode output as a string.
+func (g *Graph) Text() string {
+	var sb strings.Builder
+	g.Encode(&sb) // strings.Builder writes cannot fail
+	return sb.String()
+}
+
+// Decode parses the Encode format and validates the resulting graph.
+// Vertex lines must appear before any edge that references them and carry
+// dense, increasing ids.
+func Decode(r io.Reader) (*Graph, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	vertices := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		switch fields[0] {
+		case "v":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("dag: line %d: vertex line needs an id", lineNo)
+			}
+			rest := strings.SplitN(fields[1], " ", 2)
+			id, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return nil, fmt.Errorf("dag: line %d: bad vertex id %q", lineNo, rest[0])
+			}
+			if id != vertices {
+				return nil, fmt.Errorf("dag: line %d: vertex ids must be dense and increasing (got %d, want %d)", lineNo, id, vertices)
+			}
+			label := ""
+			if len(rest) == 2 {
+				label = rest[1]
+			}
+			b.Vertex(label)
+			vertices++
+		case "e":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("dag: line %d: edge line needs endpoints", lineNo)
+			}
+			parts := strings.Fields(fields[1])
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("dag: line %d: edge needs 'from to weight'", lineNo)
+			}
+			from, err1 := strconv.Atoi(parts[0])
+			to, err2 := strconv.Atoi(parts[1])
+			weight, err3 := strconv.ParseInt(parts[2], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("dag: line %d: malformed edge %q", lineNo, line)
+			}
+			if from < 0 || from >= vertices || to < 0 || to >= vertices {
+				return nil, fmt.Errorf("dag: line %d: edge endpoint out of range", lineNo)
+			}
+			if weight < 1 {
+				return nil, fmt.Errorf("dag: line %d: edge weight %d < 1", lineNo, weight)
+			}
+			if err := safeEdge(b, VertexID(from), VertexID(to), weight); err != nil {
+				return nil, fmt.Errorf("dag: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("dag: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Graph()
+}
+
+// safeEdge adds an edge, converting Builder panics on structural errors
+// into returned errors so Decode can report line numbers.
+func safeEdge(b *Builder, from, to VertexID, weight int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	b.Edge(from, to, weight)
+	return nil
+}

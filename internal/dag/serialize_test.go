@@ -1,0 +1,124 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"lhws/internal/rng"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := figure1(9)
+	text := g.Text()
+	g2, err := Decode(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, text)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func assertSameGraph(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() {
+		t.Fatalf("vertex count %d != %d", a.NumVertices(), b.NumVertices())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if a.Label(VertexID(v)) != b.Label(VertexID(v)) {
+			t.Fatalf("label mismatch at %d: %q != %q", v, a.Label(VertexID(v)), b.Label(VertexID(v)))
+		}
+		ea, eb := a.OutEdges(VertexID(v)), b.OutEdges(VertexID(v))
+		if len(ea) != len(eb) {
+			t.Fatalf("out-degree mismatch at %d", v)
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("edge %d/%d mismatch: %+v != %+v", v, i, ea[i], eb[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripRandomDags(t *testing.T) {
+	r := rng.New(77)
+	for i := 0; i < 60; i++ {
+		g := randomDag(r, 60)
+		g2, err := Decode(strings.NewReader(g.Text()))
+		if err != nil {
+			t.Fatalf("dag %d: %v", i, err)
+		}
+		assertSameGraph(t, g, g2)
+		if g.Span() != g2.Span() || g.SuspensionWidth() != g2.SuspensionWidth() {
+			t.Fatalf("dag %d: metrics changed after round trip", i)
+		}
+	}
+}
+
+func TestDecodeWithCommentsAndBlanks(t *testing.T) {
+	text := `
+# a tiny chain
+v 0 start
+
+v 1
+v 2 end
+e 0 1 1
+# heavy edge
+e 1 2 5
+`
+	g, err := Decode(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.HeavyEdges() != 1 {
+		t.Fatalf("decoded %s", g)
+	}
+	if g.Label(0) != "start" || g.Label(2) != "end" {
+		t.Fatal("labels lost")
+	}
+}
+
+func TestDecodeLabelWithSpaces(t *testing.T) {
+	text := "v 0 a label with spaces\nv 1\ne 0 1 1\n"
+	g, err := Decode(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Label(0) != "a label with spaces" {
+		t.Fatalf("label = %q", g.Label(0))
+	}
+	// Round-trip preserves it.
+	g2, err := Decode(strings.NewReader(g.Text()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Label(0) != "a label with spaces" {
+		t.Fatalf("round-trip label = %q", g2.Label(0))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"sparse ids":          "v 0\nv 2\n",
+		"bad id":              "v x\n",
+		"unknown directive":   "q 1 2\n",
+		"short edge":          "v 0\nv 1\ne 0 1\n",
+		"edge range":          "v 0\nv 1\ne 0 5 1\n",
+		"zero weight":         "v 0\nv 1\ne 0 1 0\n",
+		"edge before vertex":  "e 0 1 1\n",
+		"overfull out-degree": "v 0\nv 1\nv 2\nv 3\ne 0 1 1\ne 0 2 1\ne 0 3 1\n",
+		"invalid structure":   "v 0\nv 1\n", // two roots / two finals
+	}
+	for name, text := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Decode(strings.NewReader(text)); err == nil {
+				t.Fatalf("decoded invalid input %q", text)
+			}
+		})
+	}
+}
+
+func TestTextHeaderComment(t *testing.T) {
+	g := figure1(3)
+	if !strings.HasPrefix(g.Text(), "# lhws weighted dag: 5 vertices") {
+		t.Fatalf("missing header: %q", g.Text()[:40])
+	}
+}

@@ -1,0 +1,70 @@
+package dag
+
+// TopoSort returns the vertices in a topological order (parents before
+// children) using Kahn's algorithm. ok is false if the graph contains a
+// cycle, in which case the returned slice is partial.
+func (g *Graph) TopoSort() ([]VertexID, bool) {
+	n := g.NumVertices()
+	indeg := make([]int32, n)
+	copy(indeg, g.inDeg)
+	order := make([]VertexID, 0, n)
+	queue := make([]VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, VertexID(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, v)
+		for _, e := range g.out[v] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return order, len(order) == n
+}
+
+// Parents returns, for each vertex, the list of its parent vertices.
+// The result is freshly allocated on each call.
+func (g *Graph) Parents() [][]VertexID {
+	n := g.NumVertices()
+	parents := make([][]VertexID, n)
+	for u := 0; u < n; u++ {
+		for _, e := range g.out[u] {
+			parents[e.To] = append(parents[e.To], VertexID(u))
+		}
+	}
+	return parents
+}
+
+// Levels partitions vertices by unweighted depth (longest unweighted path
+// from the root), the level structure used by Brent-style level-by-level
+// schedules.
+func (g *Graph) Levels() [][]VertexID {
+	order, ok := g.TopoSort()
+	if !ok {
+		return nil
+	}
+	n := g.NumVertices()
+	depth := make([]int, n)
+	maxDepth := 0
+	for _, v := range order {
+		for _, e := range g.out[v] {
+			if d := depth[v] + 1; d > depth[e.To] {
+				depth[e.To] = d
+				if d > maxDepth {
+					maxDepth = d
+				}
+			}
+		}
+	}
+	levels := make([][]VertexID, maxDepth+1)
+	for v := 0; v < n; v++ {
+		levels[depth[v]] = append(levels[depth[v]], VertexID(v))
+	}
+	return levels
+}

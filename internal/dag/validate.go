@@ -1,0 +1,116 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validation errors returned by Graph.Validate. Errors are wrapped with
+// positional detail; match with errors.Is.
+var (
+	ErrEmpty          = errors.New("dag: graph has no vertices")
+	ErrMultipleRoots  = errors.New("dag: graph must have exactly one root")
+	ErrMultipleFinals = errors.New("dag: graph must have exactly one final vertex")
+	ErrOutDegree      = errors.New("dag: vertex out-degree exceeds two")
+	ErrHeavyInDegree  = errors.New("dag: vertex with heavy in-edge must have in-degree one")
+	ErrCycle          = errors.New("dag: graph contains a cycle")
+	ErrUnreachable    = errors.New("dag: vertex unreachable from root")
+	ErrDeadEnd        = errors.New("dag: vertex cannot reach final vertex")
+	ErrBadWeight      = errors.New("dag: edge weight below one")
+)
+
+// Validate checks the structural assumptions of §2:
+//
+//  1. exactly one root (in-degree 0) and one final vertex (out-degree 0);
+//  2. out-degree at most two;
+//  3. a vertex with a heavy in-edge has in-degree one;
+//  4. the graph is acyclic;
+//  5. every vertex lies on some root→final path (reachability both ways),
+//     so that Work counts only instructions the computation executes;
+//  6. all edge weights are ≥ 1.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if n == 0 {
+		return ErrEmpty
+	}
+
+	roots, finals := 0, 0
+	for v := 0; v < n; v++ {
+		if g.inDeg[v] == 0 {
+			roots++
+		}
+		if len(g.out[v]) == 0 {
+			finals++
+		}
+		if len(g.out[v]) > 2 {
+			return fmt.Errorf("vertex %d has out-degree %d: %w", v, len(g.out[v]), ErrOutDegree)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("found %d roots: %w", roots, ErrMultipleRoots)
+	}
+	if finals != 1 {
+		return fmt.Errorf("found %d final vertices: %w", finals, ErrMultipleFinals)
+	}
+
+	heavyIn := make([]bool, n)
+	for u := 0; u < n; u++ {
+		for _, e := range g.out[u] {
+			if e.Weight < 1 {
+				return fmt.Errorf("edge %d->%d weight %d: %w", u, e.To, e.Weight, ErrBadWeight)
+			}
+			if e.Heavy() {
+				heavyIn[e.To] = true
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if heavyIn[v] && g.inDeg[v] != 1 {
+			return fmt.Errorf("vertex %d has a heavy in-edge and in-degree %d: %w", v, g.inDeg[v], ErrHeavyInDegree)
+		}
+	}
+
+	order, ok := g.TopoSort()
+	if !ok {
+		return ErrCycle
+	}
+
+	// Reachability from the root.
+	root := g.Root()
+	reach := make([]bool, n)
+	reach[root] = true
+	for _, v := range order {
+		if !reach[v] {
+			continue
+		}
+		for _, e := range g.out[v] {
+			reach[e.To] = true
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !reach[v] {
+			return fmt.Errorf("vertex %d: %w", v, ErrUnreachable)
+		}
+	}
+
+	// Co-reachability to the final vertex, scanning reverse topological
+	// order.
+	final := g.Final()
+	coReach := make([]bool, n)
+	coReach[final] = true
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, e := range g.out[v] {
+			if coReach[e.To] {
+				coReach[v] = true
+				break
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !coReach[v] {
+			return fmt.Errorf("vertex %d: %w", v, ErrDeadEnd)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package deque
+
+import (
+	"sync/atomic"
+)
+
+// ChaseLev is a lock-free work-stealing deque backed by a growable circular
+// array, after Chase & Lev (SPAA 2005). The owner operates on bottom; any
+// number of thieves race on top with a compare-and-swap. The array grows
+// geometrically and is replaced atomically; stale readers may read from an
+// old array, which is safe because entries are immutable between publication
+// (PushBottom's store) and consumption (the CAS on top).
+//
+// The zero value is not usable; construct with NewChaseLev.
+type ChaseLev struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	array  atomic.Pointer[clArray]
+}
+
+// clArray is a fixed-capacity circular buffer. size is always a power of
+// two so index wrapping is a mask.
+type clArray struct {
+	size  int64
+	mask  int64
+	items []atomic.Value // holds Item
+}
+
+func newCLArray(size int64) *clArray {
+	return &clArray{size: size, mask: size - 1, items: make([]atomic.Value, size)}
+}
+
+func (a *clArray) get(i int64) Item     { return a.items[i&a.mask].Load() }
+func (a *clArray) put(i int64, it Item) { a.items[i&a.mask].Store(it) }
+
+// grow returns a new array of twice the size holding elements [top, bottom).
+func (a *clArray) grow(top, bottom int64) *clArray {
+	na := newCLArray(a.size * 2)
+	for i := top; i < bottom; i++ {
+		na.put(i, a.get(i))
+	}
+	return na
+}
+
+// minCapacity is the initial circular-array capacity; small because
+// schedulers allocate many deques (up to U+1 per worker).
+const minCapacity = 8
+
+// NewChaseLev returns an empty lock-free deque.
+func NewChaseLev() *ChaseLev {
+	d := &ChaseLev{}
+	d.array.Store(newCLArray(minCapacity))
+	return d
+}
+
+// PushBottom adds an item at the owner end. Only the owner may call it.
+func (d *ChaseLev) PushBottom(it Item) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.array.Load()
+	if b-t >= a.size {
+		a = a.grow(t, b)
+		d.array.Store(a)
+	}
+	a.put(b, it)
+	// Publish the item before publishing the new bottom. atomic.Store has
+	// release semantics under the Go memory model, so thieves that observe
+	// the new bottom also observe the item.
+	d.bottom.Store(b + 1)
+}
+
+// PopBottom removes and returns the item at the owner end. Only the owner
+// may call it. On the last-element race with a thief, the CAS on top
+// arbitrates.
+func (d *ChaseLev) PopBottom() (Item, bool) {
+	b := d.bottom.Load() - 1
+	a := d.array.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if b < t {
+		// Deque was empty; restore bottom.
+		d.bottom.Store(t)
+		return nil, false
+	}
+	it := a.get(b)
+	if b > t {
+		// More than one element; no race possible on this one.
+		return it, true
+	}
+	// Exactly one element: race thieves via CAS on top.
+	won := d.top.CompareAndSwap(t, t+1)
+	d.bottom.Store(t + 1)
+	if !won {
+		return nil, false
+	}
+	return it, true
+}
+
+// PopTop removes and returns the item at the thief end. Any worker may call
+// it. A lost race returns ok=false even if the deque is non-empty ("failed
+// steal"); callers are expected to retry elsewhere, which is exactly the
+// behaviour work-stealing analyses assume.
+func (d *ChaseLev) PopTop() (Item, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, false
+	}
+	a := d.array.Load()
+	it := a.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, false
+	}
+	return it, true
+}
+
+// Empty reports whether the deque was observed empty.
+func (d *ChaseLev) Empty() bool { return d.Len() <= 0 }
+
+// Len returns the observed number of items. The value may be stale and,
+// transiently during a concurrent PopBottom, negative is clamped to zero.
+func (d *ChaseLev) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+var _ Deque = (*ChaseLev)(nil)

@@ -1,0 +1,61 @@
+package deque
+
+import "sync"
+
+// Locked is a mutex-protected slice-backed deque. It trades throughput for
+// obviousness and is used by the round-based simulator (which serializes
+// accesses anyway) and by tests as a reference implementation for
+// differential testing against ChaseLev.
+type Locked struct {
+	mu    sync.Mutex
+	items []Item
+}
+
+// NewLocked returns an empty mutex-based deque.
+func NewLocked() *Locked { return &Locked{} }
+
+// PushBottom adds an item at the owner end.
+func (d *Locked) PushBottom(it Item) {
+	d.mu.Lock()
+	d.items = append(d.items, it)
+	d.mu.Unlock()
+}
+
+// PopBottom removes and returns the item at the owner end.
+func (d *Locked) PopBottom() (Item, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil, false
+	}
+	it := d.items[n-1]
+	d.items[n-1] = nil // release for GC
+	d.items = d.items[:n-1]
+	return it, true
+}
+
+// PopTop removes and returns the item at the thief end.
+func (d *Locked) PopTop() (Item, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil, false
+	}
+	it := d.items[0]
+	d.items[0] = nil
+	d.items = d.items[1:]
+	return it, true
+}
+
+// Empty reports whether the deque is empty.
+func (d *Locked) Empty() bool { return d.Len() == 0 }
+
+// Len returns the number of items.
+func (d *Locked) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}
+
+var _ Deque = (*Locked)(nil)

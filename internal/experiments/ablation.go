@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lhws/internal/sched"
+	"lhws/internal/stats"
+	"lhws/internal/workload"
+)
+
+// StealsRow compares the two steal policies at one worker count.
+type StealsRow struct {
+	P             int
+	RandomFails   int64
+	RandomRate    float64 // failed / attempts
+	OptFails      int64
+	OptRate       float64
+	RandomRounds  int64
+	OptRounds     int64
+	RoundsPenalty float64 // random / optimized
+}
+
+// StealsResult is the §6 steal-policy ablation: the paper's implementation
+// targets a worker then one of its ready deques "because steals won't
+// target empty deques", trading the analyzed uniform-over-deques policy
+// for fewer failed steals.
+type StealsResult struct{ Rows []StealsRow }
+
+// Steals measures failed-steal rates and round counts for both policies
+// on a suspension-heavy map-reduce.
+func Steals(seed uint64) (*StealsResult, error) {
+	w := workload.MapReduce(workload.MapReduceConfig{N: 128, Delta: 67, FibWork: 4})
+	res := &StealsResult{}
+	for _, p := range []int{2, 4, 8, 16} {
+		var randFail, optFail, randAtt, optAtt, randRounds, optRounds int64
+		const trials = 3
+		for tr := uint64(0); tr < trials; tr++ {
+			a, err := sched.RunLHWS(w.G, sched.Options{Workers: p, Seed: seed + tr, Policy: sched.StealRandomDeque})
+			if err != nil {
+				return nil, err
+			}
+			b, err := sched.RunLHWS(w.G, sched.Options{Workers: p, Seed: seed + tr, Policy: sched.StealWorkerThenDeque})
+			if err != nil {
+				return nil, err
+			}
+			randFail += a.Stats.StealAttempts - a.Stats.StealSuccesses
+			randAtt += a.Stats.StealAttempts
+			randRounds += a.Stats.Rounds
+			optFail += b.Stats.StealAttempts - b.Stats.StealSuccesses
+			optAtt += b.Stats.StealAttempts
+			optRounds += b.Stats.Rounds
+		}
+		row := StealsRow{
+			P:            p,
+			RandomFails:  randFail / trials,
+			OptFails:     optFail / trials,
+			RandomRounds: randRounds / trials,
+			OptRounds:    optRounds / trials,
+		}
+		if randAtt > 0 {
+			row.RandomRate = float64(randFail) / float64(randAtt)
+		}
+		if optAtt > 0 {
+			row.OptRate = float64(optFail) / float64(optAtt)
+		}
+		row.RoundsPenalty = float64(row.RandomRounds) / float64(row.OptRounds)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the policy comparison.
+func (r *StealsResult) Table() *stats.Table {
+	t := stats.NewTable("P", "rand fails", "rand fail-rate", "opt fails", "opt fail-rate", "rounds rand/opt")
+	for _, row := range r.Rows {
+		t.AddRowf(row.P, row.RandomFails, row.RandomRate, row.OptFails, row.OptRate, row.RoundsPenalty)
+	}
+	return t
+}
+
+// Check asserts the §6 claim: the optimized policy fails less on average
+// across the sweep (individual worker counts can tie or flip within noise
+// at some seeds, so a small per-row tolerance applies).
+func (r *StealsResult) Check() error {
+	var avgRand, avgOpt float64
+	for _, row := range r.Rows {
+		avgRand += row.RandomRate
+		avgOpt += row.OptRate
+		if row.OptRate > row.RandomRate+0.05 {
+			return fmt.Errorf("steals: P=%d optimized fail-rate %.2f well above random %.2f", row.P, row.OptRate, row.RandomRate)
+		}
+	}
+	if avgOpt > avgRand {
+		return fmt.Errorf("steals: mean optimized fail-rate %.3f > mean random %.3f", avgOpt/float64(len(r.Rows)), avgRand/float64(len(r.Rows)))
+	}
+	return nil
+}
+
+// UWidthRow records the §5 extremal-U examples.
+type UWidthRow struct {
+	Workload  string
+	AnalyticU int
+	ExactU    int
+	Observed  int // high-water mark in an actual LHWS run
+}
+
+// UWidthResult validates the §5 claims: U = n for distributed map-reduce
+// and U = 1 for the server, and that executions actually realize widths up
+// to U.
+type UWidthResult struct{ Rows []UWidthRow }
+
+// UWidth computes analytic, exact (min-cut), and observed suspension
+// widths for the two §5 examples across sizes.
+func UWidth(seed uint64) (*UWidthResult, error) {
+	res := &UWidthResult{}
+	for _, n := range []int{4, 16, 64, 256} {
+		w := workload.MapReduce(workload.MapReduceConfig{N: n, Delta: 1000, FibWork: 2})
+		r, err := sched.RunLHWS(w.G, sched.Options{Workers: 8, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, UWidthRow{
+			Workload: w.Name, AnalyticU: w.AnalyticU,
+			ExactU: w.G.SuspensionWidth(), Observed: r.Stats.MaxSuspended,
+		})
+	}
+	for _, reqs := range []int{4, 16, 64} {
+		w := workload.Server(workload.ServerConfig{Requests: reqs, Delta: 50, FibWork: 4})
+		r, err := sched.RunLHWS(w.G, sched.Options{Workers: 8, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, UWidthRow{
+			Workload: w.Name, AnalyticU: w.AnalyticU,
+			ExactU: w.G.SuspensionWidth(), Observed: r.Stats.MaxSuspended,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the suspension-width comparison.
+func (r *UWidthResult) Table() *stats.Table {
+	t := stats.NewTable("workload", "analytic U", "exact U", "observed max")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Workload, row.AnalyticU, row.ExactU, row.Observed)
+	}
+	return t
+}
+
+// Check asserts analytic = exact and observed ≤ exact, with map-reduce
+// runs under a long latency actually reaching U (all fetches overlap).
+func (r *UWidthResult) Check() error {
+	for _, row := range r.Rows {
+		if row.AnalyticU != row.ExactU {
+			return fmt.Errorf("uwidth: %s analytic %d != exact %d", row.Workload, row.AnalyticU, row.ExactU)
+		}
+		if row.Observed > row.ExactU {
+			return fmt.Errorf("uwidth: %s observed %d > U %d", row.Workload, row.Observed, row.ExactU)
+		}
+	}
+	return nil
+}

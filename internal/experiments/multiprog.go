@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lhws/internal/sched"
+	"lhws/internal/stats"
+	"lhws/internal/workload"
+)
+
+// MultiprogRow is one availability-pattern measurement.
+type MultiprogRow struct {
+	Pattern    string
+	AvgAvail   float64
+	Rounds     int64
+	ProcTime   int64   // granted worker-rounds = P·rounds − descheduled
+	Efficiency float64 // dedicated proc-time / this proc-time
+}
+
+// MultiprogResult evaluates LHWS in the multiprogrammed setting of Arora,
+// Blumofe & Plaxton: the OS grants only a subset of the P workers each
+// round. The ABP guarantee is that the schedule wastes little of whatever
+// processing the OS actually grants; we measure granted worker-rounds
+// (processor time) across availability patterns and compare against the
+// dedicated run.
+type MultiprogResult struct {
+	P    int
+	Rows []MultiprogRow
+}
+
+// Multiprogrammed runs the map-reduce workload under several availability
+// patterns.
+func Multiprogrammed(seed uint64) (*MultiprogResult, error) {
+	w := workload.MapReduce(workload.MapReduceConfig{N: 64, Delta: 41, FibWork: 5})
+	const p = 8
+	patterns := []struct {
+		name string
+		fn   func(round int64) int
+	}{
+		{"dedicated", nil},
+		{"three-quarters", func(int64) int { return 6 }},
+		{"half", func(int64) int { return 4 }},
+		{"quarter", func(int64) int { return 2 }},
+		{"sawtooth 1..8", func(r int64) int { return 1 + int(r%8) }},
+		{"bursty 8/1", func(r int64) int {
+			if r%200 < 100 {
+				return 8
+			}
+			return 1
+		}},
+	}
+	res := &MultiprogResult{P: p}
+	var dedicatedProc int64
+	for _, pat := range patterns {
+		r, err := sched.RunLHWS(w.G, sched.Options{Workers: p, Seed: seed, Available: pat.fn})
+		if err != nil {
+			return nil, err
+		}
+		procTime := int64(p)*r.Stats.Rounds - r.Stats.DescheduledRounds
+		if pat.name == "dedicated" {
+			dedicatedProc = procTime
+		}
+		res.Rows = append(res.Rows, MultiprogRow{
+			Pattern:  pat.name,
+			AvgAvail: float64(procTime) / float64(r.Stats.Rounds),
+			Rounds:   r.Stats.Rounds,
+			ProcTime: procTime,
+			Efficiency: func() float64 {
+				if procTime == 0 {
+					return 0
+				}
+				return float64(dedicatedProc) / float64(procTime)
+			}(),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the availability sweep.
+func (r *MultiprogResult) Table() *stats.Table {
+	t := stats.NewTable("availability", "avg granted", "rounds", "proc-time", "proc-time efficiency")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Pattern, row.AvgAvail, row.Rounds, row.ProcTime, row.Efficiency)
+	}
+	return t
+}
+
+// Check asserts work conservation in the ABP sense: constrained runs must
+// not consume disproportionately more granted processor time than the
+// dedicated run (some loss to steal overhead under scarcity is expected).
+func (r *MultiprogResult) Check() error {
+	dedicated := r.Rows[0].ProcTime
+	for _, row := range r.Rows[1:] {
+		if float64(row.ProcTime) > 3.0*float64(dedicated) {
+			return fmt.Errorf("multiprog: pattern %q used %d proc-rounds vs dedicated %d (>3x waste)",
+				row.Pattern, row.ProcTime, dedicated)
+		}
+		if row.Rounds < r.Rows[0].Rounds {
+			return fmt.Errorf("multiprog: pattern %q finished faster than dedicated", row.Pattern)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lhws/internal/sched"
+	"lhws/internal/stats"
+	"lhws/internal/workload"
+)
+
+// PotentialRow is one potential-function trace summary.
+type PotentialRow struct {
+	Workload  string
+	P         int
+	SStar     int64
+	Rounds    int64
+	Increase  int64
+	DecFrac   float64
+	MaxOver   float64
+	FinalZero bool
+}
+
+// PotentialResult validates the §4 potential-function argument on small
+// executions: Φ_0 = 3^(2S*−1), Φ never exceeds Φ_0, decreases on most
+// rounds, and ends at zero.
+type PotentialResult struct{ Rows []PotentialRow }
+
+// Potential traces Φ across the §5 workloads.
+func Potential(seed uint64) (*PotentialResult, error) {
+	ws := []*workload.Workload{
+		workload.Fib(9),
+		workload.MapReduce(workload.MapReduceConfig{N: 12, Delta: 15, FibWork: 3}),
+		workload.Server(workload.ServerConfig{Requests: 8, Delta: 13, FibWork: 3}),
+		workload.Pipeline(workload.PipelineConfig{Items: 5, Stages: 3, StageWork: 4, Delta: 9}),
+	}
+	res := &PotentialResult{}
+	for _, w := range ws {
+		for _, p := range []int{1, 2, 4} {
+			tr, err := sched.TracePotential(w.G, sched.Options{Workers: p, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			if err := tr.CheckPotential(); err != nil {
+				return nil, fmt.Errorf("%s P=%d: %w", w.Name, p, err)
+			}
+			res.Rows = append(res.Rows, PotentialRow{
+				Workload: w.Name, P: p, SStar: tr.SStar, Rounds: tr.Rounds,
+				Increase: tr.Increases, DecFrac: tr.DecreaseFraction,
+				MaxOver: tr.MaxOverInitial, FinalZero: tr.Final.Sign() == 0,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the potential traces.
+func (r *PotentialResult) Table() *stats.Table {
+	t := stats.NewTable("workload", "P", "S*", "boundaries", "increases", "decrease frac", "max Φ/Φ0", "final=0")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Workload, row.P, row.SStar, row.Rounds, row.Increase, row.DecFrac, row.MaxOver, row.FinalZero)
+	}
+	return t
+}
+
+// Check re-asserts the row-level properties (already enforced during
+// collection; kept for the harness contract).
+func (r *PotentialResult) Check() error {
+	for _, row := range r.Rows {
+		if !row.FinalZero {
+			return fmt.Errorf("potential: %s P=%d final potential nonzero", row.Workload, row.P)
+		}
+		if row.MaxOver > 1 {
+			return fmt.Errorf("potential: %s P=%d Φ exceeded Φ0", row.Workload, row.P)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lhws/internal/runtime"
+	"lhws/internal/stats"
+)
+
+// ResponsivenessConfig parameterizes the interactive-latency experiment:
+// an interactive request stream (each request does a small remote fetch
+// and a small computation) shares the runtime with a batch computation
+// that keeps all workers busy. The measured quantity is per-request
+// response time — the motivating concern of the paper's title
+// ("interacting parallel computations") and the direction its authors
+// pursued in follow-on responsiveness work.
+type ResponsivenessConfig struct {
+	// Requests is the number of interactive requests.
+	Requests int
+	// Interarrival separates request arrivals (driven by a timer task).
+	Interarrival time.Duration
+	// Fetch is the remote-call latency inside each request handler.
+	Fetch time.Duration
+	// HandlerSpin is the handler compute in busy-loop iterations.
+	HandlerSpin int
+	// BatchSpin is the per-chunk compute of the background batch load, and
+	// BatchChunks how many chunks it spawns.
+	BatchSpin, BatchChunks int
+	// Workers is the worker count.
+	Workers int
+}
+
+// ScaledResponsiveness finishes in a couple of seconds.
+func ScaledResponsiveness() ResponsivenessConfig {
+	return ResponsivenessConfig{
+		Requests:     40,
+		Interarrival: 2 * time.Millisecond,
+		Fetch:        3 * time.Millisecond,
+		HandlerSpin:  20_000,
+		BatchSpin:    200_000,
+		BatchChunks:  256,
+		Workers:      2,
+	}
+}
+
+// ResponsivenessRow summarizes one mode's response-time distribution.
+type ResponsivenessRow struct {
+	Mode     string
+	P50, P95 time.Duration
+	Max      time.Duration
+	Wall     time.Duration
+}
+
+// ResponsivenessResult compares request response times across modes.
+type ResponsivenessResult struct {
+	Cfg  ResponsivenessConfig
+	Rows []ResponsivenessRow
+}
+
+// Responsiveness runs the mixed interactive+batch workload in both modes
+// and gathers response-time percentiles.
+func Responsiveness(cfg ResponsivenessConfig) (*ResponsivenessResult, error) {
+	res := &ResponsivenessResult{Cfg: cfg}
+	for _, mode := range []runtime.Mode{runtime.LatencyHiding, runtime.Blocking} {
+		times, wall, err := runMixed(cfg, mode)
+		if err != nil {
+			return nil, err
+		}
+		ms := make([]float64, len(times))
+		for i, d := range times {
+			ms[i] = float64(d)
+		}
+		res.Rows = append(res.Rows, ResponsivenessRow{
+			Mode: mode.String(),
+			P50:  time.Duration(stats.Percentile(ms, 50)),
+			P95:  time.Duration(stats.Percentile(ms, 95)),
+			Max:  time.Duration(stats.Percentile(ms, 100)),
+			Wall: wall,
+		})
+	}
+	return res, nil
+}
+
+func runMixed(cfg ResponsivenessConfig, mode runtime.Mode) ([]time.Duration, time.Duration, error) {
+	var (
+		mu    sync.Mutex
+		times []time.Duration
+	)
+	spin := func(n int) int64 {
+		var acc int64
+		for i := 0; i < n; i++ {
+			acc += int64(i ^ (i >> 3))
+		}
+		return acc
+	}
+	st, err := runtime.Run(runtime.Config{Workers: cfg.Workers, Mode: mode}, func(c *runtime.Ctx) {
+		// Background batch load: independent compute chunks.
+		batch := c.Spawn(func(cc *runtime.Ctx) {
+			runtime.For(cc, 0, cfg.BatchChunks, 1, func(ccc *runtime.Ctx, i int) {
+				spin(cfg.BatchSpin)
+			})
+		})
+		// Interactive stream: requests arrive on a timer; each handler
+		// fetches remotely and computes, recording its response time.
+		var handlers []*runtime.Future
+		for i := 0; i < cfg.Requests; i++ {
+			c.Latency(cfg.Interarrival) // wait for the next arrival
+			start := time.Now()
+			handlers = append(handlers, c.Spawn(func(cc *runtime.Ctx) {
+				cc.Latency(cfg.Fetch)
+				spin(cfg.HandlerSpin)
+				elapsed := time.Since(start)
+				mu.Lock()
+				times = append(times, elapsed)
+				mu.Unlock()
+			}))
+		}
+		for _, h := range handlers {
+			h.Await(c)
+		}
+		batch.Await(c)
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return times, st.Wall, nil
+}
+
+// Table renders the response-time comparison.
+func (r *ResponsivenessResult) Table() *stats.Table {
+	t := stats.NewTable("mode", "p50 response", "p95 response", "max response", "total wall")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Mode, row.P50.Round(time.Millisecond).String(), row.P95.Round(time.Millisecond).String(),
+			row.Max.Round(time.Millisecond).String(), row.Wall.Round(time.Millisecond).String())
+	}
+	return t
+}
+
+// Check asserts that latency hiding keeps median response time well below
+// the blocking baseline's on the mixed workload.
+func (r *ResponsivenessResult) Check() error {
+	if len(r.Rows) != 2 {
+		return fmt.Errorf("responsiveness: expected 2 rows")
+	}
+	lh, bl := r.Rows[0], r.Rows[1]
+	if lh.P50 >= bl.P50 {
+		return fmt.Errorf("responsiveness: latency-hiding p50 %v not below blocking %v", lh.P50, bl.P50)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lhws/internal/sched"
+	"lhws/internal/stats"
+	"lhws/internal/workload"
+)
+
+// ScaleRow is one point of the high-P scaling sweep.
+type ScaleRow struct {
+	Workload string
+	P        int
+	Rounds   int64
+	Speedup  float64 // vs the same scheduler at P=1
+	WorkTerm float64 // (W/P) / rounds: fraction of time explained by work
+}
+
+// ScaleResult extends the paper's P ≤ 30 sweep to much higher worker
+// counts, where the Theorem-2 bound predicts the S·U·(1+lg U) term takes
+// over from W/P: speedup must saturate on latency-bound dags (server:
+// S dominated by serial latency) while continuing to grow on
+// work-dominated ones (fib) until W/P reaches the span.
+type ScaleResult struct{ Rows []ScaleRow }
+
+// Scale sweeps P ∈ {1..256} over contrasting workloads.
+func Scale(seed uint64) (*ScaleResult, error) {
+	ws := []*workload.Workload{
+		workload.Fib(16),
+		workload.MapReduce(workload.MapReduceConfig{N: 256, Delta: 100, FibWork: 5}),
+		workload.Server(workload.ServerConfig{Requests: 32, Delta: 50, FibWork: 5}),
+	}
+	res := &ScaleResult{}
+	for _, w := range ws {
+		var base int64
+		for _, p := range []int{1, 4, 16, 64, 256} {
+			r, err := sched.RunLHWS(w.G, sched.Options{Workers: p, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			if p == 1 {
+				base = r.Stats.Rounds
+			}
+			res.Rows = append(res.Rows, ScaleRow{
+				Workload: w.Name, P: p, Rounds: r.Stats.Rounds,
+				Speedup:  float64(base) / float64(r.Stats.Rounds),
+				WorkTerm: float64(w.G.Work()) / float64(p) / float64(r.Stats.Rounds),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *ScaleResult) Table() *stats.Table {
+	t := stats.NewTable("workload", "P", "rounds", "self-speedup", "(W/P)/rounds")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Workload, row.P, row.Rounds, row.Speedup, row.WorkTerm)
+	}
+	return t
+}
+
+// Check asserts the saturation structure: speedups never regress badly
+// with more workers, and the latency-bound server saturates (speedup at
+// P=256 within 2× of P=16) while fib keeps scaling further.
+func (r *ScaleResult) Check() error {
+	byW := map[string]map[int]float64{}
+	for _, row := range r.Rows {
+		if byW[row.Workload] == nil {
+			byW[row.Workload] = map[int]float64{}
+		}
+		byW[row.Workload][row.P] = row.Speedup
+	}
+	for w, sp := range byW {
+		if sp[256] < sp[16]*0.5 {
+			return fmt.Errorf("scale: %s speedup collapsed at high P (%.1f @16 vs %.1f @256)", w, sp[16], sp[256])
+		}
+	}
+	for w, sp := range byW {
+		isServer := len(w) >= 6 && w[:6] == "server"
+		if isServer && sp[256] > 2*sp[16] {
+			return fmt.Errorf("scale: server kept scaling (%.1f @16 → %.1f @256); expected latency saturation", sp[16], sp[256])
+		}
+		if !isServer && sp[64] < sp[16] {
+			return fmt.Errorf("scale: %s stopped scaling before its work term was exhausted", w)
+		}
+	}
+	return nil
+}

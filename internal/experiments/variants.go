@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lhws/internal/sched"
+	"lhws/internal/stats"
+	"lhws/internal/workload"
+)
+
+// VariantRow compares the three suspension-handling designs on one
+// workload and worker count.
+type VariantRow struct {
+	Workload      string
+	P             int
+	U             int
+	PaperRounds   int64
+	FrozenRounds  int64 // VariantSuspendDeque
+	NewDeqRounds  int64 // VariantResumeNewDeque
+	PaperMaxDeq   int
+	FrozenMaxDeq  int
+	NewDeqMaxDeq  int
+	FrozenPenalty float64 // frozen / paper rounds
+	NewDeqPenalty float64
+}
+
+// VariantsResult is the §7 design ablation: the paper's algorithm against
+// Spoonhower's two prior multi-deque designs ("suspend the whole deque" and
+// "new deque per resume"), which the related-work section argues are
+// respectively wasteful and allocation-heavy.
+type VariantsResult struct{ Rows []VariantRow }
+
+// Variants measures rounds and deque high-water marks for all three
+// designs across the paper's two §5 workloads.
+func Variants(seed uint64) (*VariantsResult, error) {
+	ws := []*workload.Workload{
+		workload.MapReduce(workload.MapReduceConfig{N: 64, Delta: 150, FibWork: 5}),
+		workload.Server(workload.ServerConfig{Requests: 24, Delta: 40, FibWork: 6}),
+	}
+	res := &VariantsResult{}
+	for _, w := range ws {
+		u := w.G.SuspensionWidth()
+		for _, p := range []int{1, 2, 4, 8} {
+			row := VariantRow{Workload: w.Name, P: p, U: u}
+			const trials = 3
+			for tr := uint64(0); tr < trials; tr++ {
+				opt := sched.Options{Workers: p, Seed: seed + tr}
+				a, err := sched.RunLHWS(w.G, opt)
+				if err != nil {
+					return nil, err
+				}
+				opt.Variant = sched.VariantSuspendDeque
+				b, err := sched.RunLHWS(w.G, opt)
+				if err != nil {
+					return nil, err
+				}
+				opt.Variant = sched.VariantResumeNewDeque
+				c, err := sched.RunLHWS(w.G, opt)
+				if err != nil {
+					return nil, err
+				}
+				row.PaperRounds += a.Stats.Rounds / trials
+				row.FrozenRounds += b.Stats.Rounds / trials
+				row.NewDeqRounds += c.Stats.Rounds / trials
+				row.PaperMaxDeq = maxInt(row.PaperMaxDeq, a.Stats.MaxDequesPerWorker)
+				row.FrozenMaxDeq = maxInt(row.FrozenMaxDeq, b.Stats.MaxDequesPerWorker)
+				row.NewDeqMaxDeq = maxInt(row.NewDeqMaxDeq, c.Stats.MaxDequesPerWorker)
+			}
+			row.FrozenPenalty = float64(row.FrozenRounds) / float64(row.PaperRounds)
+			row.NewDeqPenalty = float64(row.NewDeqRounds) / float64(row.PaperRounds)
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table renders the design comparison.
+func (r *VariantsResult) Table() *stats.Table {
+	t := stats.NewTable("workload", "P", "U", "paper rounds", "frozen/paper", "newdeq/paper",
+		"deques paper", "deques frozen", "deques newdeq")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Workload, row.P, row.U, row.PaperRounds, row.FrozenPenalty, row.NewDeqPenalty,
+			row.PaperMaxDeq, row.FrozenMaxDeq, row.NewDeqMaxDeq)
+	}
+	return t
+}
+
+// Check asserts the §7 qualitative claims: the paper's design respects
+// Lemma 7 (≤ U+1 deques) while being no slower than the suspend-deque
+// design, which wastes frozen work on the suspension-heavy workload.
+func (r *VariantsResult) Check() error {
+	for _, row := range r.Rows {
+		if row.PaperMaxDeq > row.U+1 {
+			return fmt.Errorf("variants: paper design used %d deques > U+1 = %d on %s P=%d",
+				row.PaperMaxDeq, row.U+1, row.Workload, row.P)
+		}
+		if row.FrozenPenalty < 0.95 {
+			return fmt.Errorf("variants: suspend-deque design faster than paper (%.2f) on %s P=%d",
+				row.FrozenPenalty, row.Workload, row.P)
+		}
+	}
+	return nil
+}

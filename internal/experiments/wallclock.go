@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lhws/internal/runtime"
+	"lhws/internal/stats"
+)
+
+// WallclockConfig parameterizes the real-runtime (wall-clock) counterpart
+// of Figure 11: the §5 distributed map-reduce executed by the goroutine
+// runtime with actual timer latencies.
+type WallclockConfig struct {
+	// N is the number of elements fetched "remotely".
+	N int
+	// Delta is the real per-fetch latency.
+	Delta time.Duration
+	// Workers is the worker-count sweep.
+	Workers []int
+	// Spin is the per-element compute cost in busy-loop iterations.
+	Spin int
+}
+
+// ScaledWallclock is a configuration that finishes in a few seconds: 200
+// fetches of 5ms each. Latency dominates compute, the δ=500ms regime.
+func ScaledWallclock() WallclockConfig {
+	return WallclockConfig{N: 200, Delta: 5 * time.Millisecond, Workers: []int{1, 2, 4}, Spin: 20000}
+}
+
+// WallclockPoint is one measured point.
+type WallclockPoint struct {
+	P       int
+	LH      time.Duration
+	Block   time.Duration
+	Speedup float64 // Block(1) / LH(P)
+	Ratio   float64 // Block(P) / LH(P)
+}
+
+// WallclockResult is the wall-clock comparison.
+type WallclockResult struct {
+	Cfg    WallclockConfig
+	Base   time.Duration // blocking mode, one worker
+	Points []WallclockPoint
+}
+
+// Wallclock runs the map-reduce on the real runtime in both modes.
+func Wallclock(cfg WallclockConfig) (*WallclockResult, error) {
+	run := func(mode runtime.Mode, p int) (time.Duration, error) {
+		st, err := runtime.Run(runtime.Config{Workers: p, Mode: mode, Seed: 1}, func(c *runtime.Ctx) {
+			mapReduceBody(c, 0, cfg.N, cfg.Delta, cfg.Spin)
+		})
+		if err != nil {
+			return 0, err
+		}
+		return st.Wall, nil
+	}
+	base, err := run(runtime.Blocking, 1)
+	if err != nil {
+		return nil, err
+	}
+	res := &WallclockResult{Cfg: cfg, Base: base}
+	for _, p := range cfg.Workers {
+		lh, err := run(runtime.LatencyHiding, p)
+		if err != nil {
+			return nil, err
+		}
+		bl := base
+		if p != 1 {
+			bl, err = run(runtime.Blocking, p)
+			if err != nil {
+				return nil, err
+			}
+		}
+		res.Points = append(res.Points, WallclockPoint{
+			P: p, LH: lh, Block: bl,
+			Speedup: float64(base) / float64(lh),
+			Ratio:   float64(bl) / float64(lh),
+		})
+	}
+	return res, nil
+}
+
+// mapReduceBody is the Figure-8 computation on the real runtime: fetch
+// each element with latency, burn Spin iterations of compute, and reduce.
+func mapReduceBody(c *runtime.Ctx, lo, hi int, delta time.Duration, spin int) int64 {
+	if hi-lo == 1 {
+		c.Latency(delta) // getValue(lo)
+		var acc int64
+		for i := 0; i < spin; i++ {
+			acc += int64(i ^ (i >> 3))
+		}
+		return acc%100 + int64(lo)
+	}
+	mid := (lo + hi) / 2
+	right := runtime.SpawnValue(c, func(cc *runtime.Ctx) int64 {
+		return mapReduceBody(cc, mid, hi, delta, spin)
+	})
+	left := mapReduceBody(c, lo, mid, delta, spin)
+	return left + right.Await(c)
+}
+
+// Table renders the wall-clock comparison.
+func (r *WallclockResult) Table() *stats.Table {
+	t := stats.NewTable("P", "LHWS wall", "blocking wall", "LHWS speedup", "blocking/LHWS")
+	for _, pt := range r.Points {
+		t.AddRowf(pt.P, pt.LH.Round(time.Millisecond).String(), pt.Block.Round(time.Millisecond).String(), pt.Speedup, pt.Ratio)
+	}
+	return t
+}
+
+// Check asserts that with latency ≫ compute, the latency-hiding runtime
+// beats blocking by a wide margin at every worker count.
+func (r *WallclockResult) Check() error {
+	serialLatency := time.Duration(r.Cfg.N) * r.Cfg.Delta
+	for _, pt := range r.Points {
+		if pt.Block < serialLatency/time.Duration(2*pt.P) {
+			return fmt.Errorf("wallclock: blocking P=%d finished in %v, faster than latency floor", pt.P, pt.Block)
+		}
+		if pt.Ratio < 2 {
+			return fmt.Errorf("wallclock: P=%d latency hiding only %.1fx faster than blocking", pt.P, pt.Ratio)
+		}
+	}
+	return nil
+}

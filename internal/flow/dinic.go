@@ -1,0 +1,180 @@
+// Package flow implements a maximum-flow solver (Dinic's algorithm) and the
+// maximum-weight-closure reduction built on it.
+//
+// The dag package uses closure to compute the suspension width U of a
+// weighted computation dag exactly: executed-vertex prefixes of a schedule
+// are precisely the predecessor-closed vertex sets ("downsets") of the dag,
+// and the number of suspended vertices under prefix S is the number of heavy
+// edges (u,v) with u ∈ S, v ∉ S. Because a suspended vertex has in-degree 1
+// (§2 of the paper), that count equals Σ_{heavy (u,v)} ([u∈S] − [v∈S]),
+// a linear function of membership — so maximizing it over downsets is a
+// maximum-weight-closure problem, solvable in polynomial time by min-cut.
+package flow
+
+// Network is a flow network over vertices 0..n-1 using an adjacency-list
+// representation with paired residual arcs.
+type Network struct {
+	n    int
+	head [][]int // per-vertex indices into arcs
+	arcs []arc
+}
+
+type arc struct {
+	to  int
+	cap int64
+}
+
+// Inf is a capacity value treated as unbounded. It is large enough that no
+// practical sum of finite capacities in this codebase reaches it.
+const Inf = int64(1) << 60
+
+// NewNetwork returns an empty flow network with n vertices.
+func NewNetwork(n int) *Network {
+	return &Network{n: n, head: make([][]int, n)}
+}
+
+// AddArc adds a directed arc u→v with the given capacity and its residual
+// reverse arc of capacity zero.
+func (g *Network) AddArc(u, v int, capacity int64) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic("flow: arc endpoint out of range")
+	}
+	if capacity < 0 {
+		panic("flow: negative capacity")
+	}
+	g.head[u] = append(g.head[u], len(g.arcs))
+	g.arcs = append(g.arcs, arc{to: v, cap: capacity})
+	g.head[v] = append(g.head[v], len(g.arcs))
+	g.arcs = append(g.arcs, arc{to: u, cap: 0})
+}
+
+// MaxFlow computes the maximum s→t flow with Dinic's algorithm and returns
+// its value. The network's residual capacities are mutated; call MinCutSide
+// afterwards to retrieve the source side of a minimum cut.
+func (g *Network) MaxFlow(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	var total int64
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+	for g.bfs(s, t, level, &queue) {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, Inf, level, iter)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// bfs builds the level graph; returns false when t is unreachable.
+func (g *Network) bfs(s, t int, level []int, queue *[]int) bool {
+	for i := range level {
+		level[i] = -1
+	}
+	q := (*queue)[:0]
+	level[s] = 0
+	q = append(q, s)
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, ai := range g.head[u] {
+			a := g.arcs[ai]
+			if a.cap > 0 && level[a.to] < 0 {
+				level[a.to] = level[u] + 1
+				q = append(q, a.to)
+			}
+		}
+	}
+	*queue = q
+	return level[t] >= 0
+}
+
+// dfs sends a blocking-flow augmenting path in the level graph.
+func (g *Network) dfs(u, t int, f int64, level, iter []int) int64 {
+	if u == t {
+		return f
+	}
+	for ; iter[u] < len(g.head[u]); iter[u]++ {
+		ai := g.head[u][iter[u]]
+		a := &g.arcs[ai]
+		if a.cap <= 0 || level[a.to] != level[u]+1 {
+			continue
+		}
+		d := f
+		if a.cap < d {
+			d = a.cap
+		}
+		got := g.dfs(a.to, t, d, level, iter)
+		if got > 0 {
+			a.cap -= got
+			g.arcs[ai^1].cap += got
+			return got
+		}
+	}
+	level[u] = -1
+	return 0
+}
+
+// MinCutSide returns, after MaxFlow, the set of vertices reachable from s
+// in the residual network — the source side of a minimum cut — as a boolean
+// slice indexed by vertex.
+func (g *Network) MinCutSide(s int) []bool {
+	side := make([]bool, g.n)
+	stack := []int{s}
+	side[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ai := range g.head[u] {
+			a := g.arcs[ai]
+			if a.cap > 0 && !side[a.to] {
+				side[a.to] = true
+				stack = append(stack, a.to)
+			}
+		}
+	}
+	return side
+}
+
+// MaxWeightClosure solves the maximum-weight closure problem: given vertex
+// weights and precedence arcs (membership of v implies membership of u for
+// each arc (v, u)), it returns the maximum total weight over all closed
+// sets and one optimal closed set. The empty set is a valid closure, so the
+// result is never negative.
+//
+// The standard reduction: source → positive-weight vertices with capacity
+// w(v); negative-weight vertices → sink with capacity −w(v); each
+// precedence arc (v, u) becomes v → u with infinite capacity. Optimal value
+// = Σ positive weights − min cut; the optimal closure is the source side of
+// the cut minus the source.
+func MaxWeightClosure(weights []int64, requires [][2]int) (int64, []bool) {
+	n := len(weights)
+	g := NewNetwork(n + 2)
+	s, t := n, n+1
+	var positive int64
+	for v, w := range weights {
+		if w > 0 {
+			positive += w
+			g.AddArc(s, v, w)
+		} else if w < 0 {
+			g.AddArc(v, t, -w)
+		}
+	}
+	for _, r := range requires {
+		v, u := r[0], r[1]
+		g.AddArc(v, u, Inf)
+	}
+	cut := g.MaxFlow(s, t)
+	side := g.MinCutSide(s)
+	closure := make([]bool, n)
+	copy(closure, side[:n])
+	return positive - cut, closure
+}

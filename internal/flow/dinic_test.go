@@ -1,0 +1,315 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lhws/internal/rng"
+)
+
+func TestSingleArc(t *testing.T) {
+	g := NewNetwork(2)
+	g.AddArc(0, 1, 5)
+	if got := g.MaxFlow(0, 1); got != 5 {
+		t.Fatalf("MaxFlow = %d, want 5", got)
+	}
+}
+
+func TestNoPath(t *testing.T) {
+	g := NewNetwork(3)
+	g.AddArc(1, 2, 7)
+	if got := g.MaxFlow(0, 2); got != 0 {
+		t.Fatalf("MaxFlow = %d, want 0", got)
+	}
+}
+
+func TestSourceEqualsSink(t *testing.T) {
+	g := NewNetwork(1)
+	if got := g.MaxFlow(0, 0); got != 0 {
+		t.Fatalf("MaxFlow(s,s) = %d, want 0", got)
+	}
+}
+
+// TestClassicNetwork is the textbook CLRS example with known max flow 23.
+func TestClassicNetwork(t *testing.T) {
+	// Vertices: 0=s, 1=v1, 2=v2, 3=v3, 4=v4, 5=t.
+	g := NewNetwork(6)
+	g.AddArc(0, 1, 16)
+	g.AddArc(0, 2, 13)
+	g.AddArc(1, 3, 12)
+	g.AddArc(2, 1, 4)
+	g.AddArc(2, 4, 14)
+	g.AddArc(3, 2, 9)
+	g.AddArc(3, 5, 20)
+	g.AddArc(4, 3, 7)
+	g.AddArc(4, 5, 4)
+	if got := g.MaxFlow(0, 5); got != 23 {
+		t.Fatalf("MaxFlow = %d, want 23", got)
+	}
+}
+
+func TestParallelPaths(t *testing.T) {
+	g := NewNetwork(4)
+	g.AddArc(0, 1, 3)
+	g.AddArc(0, 2, 4)
+	g.AddArc(1, 3, 3)
+	g.AddArc(2, 3, 4)
+	if got := g.MaxFlow(0, 3); got != 7 {
+		t.Fatalf("MaxFlow = %d, want 7", got)
+	}
+}
+
+func TestBottleneck(t *testing.T) {
+	// Wide fan-in/out constricted by a single middle arc.
+	g := NewNetwork(6)
+	for _, v := range []int{1, 2} {
+		g.AddArc(0, v, 100)
+		g.AddArc(v, 3, 100)
+	}
+	g.AddArc(3, 4, 1)
+	g.AddArc(4, 5, 100)
+	if got := g.MaxFlow(0, 5); got != 1 {
+		t.Fatalf("MaxFlow = %d, want 1", got)
+	}
+}
+
+func TestMinCutSideSeparates(t *testing.T) {
+	g := NewNetwork(4)
+	g.AddArc(0, 1, 2)
+	g.AddArc(1, 2, 1)
+	g.AddArc(2, 3, 2)
+	g.MaxFlow(0, 3)
+	side := g.MinCutSide(0)
+	if !side[0] || side[3] {
+		t.Fatalf("cut side wrong: %v", side)
+	}
+	// The min cut is the middle arc: 0,1 on the source side.
+	if !side[1] || side[2] {
+		t.Fatalf("expected cut across 1->2, got %v", side)
+	}
+}
+
+// TestMaxFlowMinCutDuality generates random networks and checks that the
+// flow value equals the capacity of the cut induced by MinCutSide.
+func TestMaxFlowMinCutDuality(t *testing.T) {
+	r := rng.New(2016)
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + r.Intn(12)
+		type arcSpec struct {
+			u, v int
+			c    int64
+		}
+		var arcs []arcSpec
+		g := NewNetwork(n)
+		m := n * 2
+		for i := 0; i < m; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(1 + r.Intn(20))
+			arcs = append(arcs, arcSpec{u, v, c})
+			g.AddArc(u, v, c)
+		}
+		val := g.MaxFlow(0, n-1)
+		side := g.MinCutSide(0)
+		if side[n-1] {
+			if val != 0 {
+				// t reachable in residual graph means flow not maximal.
+				t.Fatalf("trial %d: sink on source side with flow %d", trial, val)
+			}
+			continue
+		}
+		var cutCap int64
+		for _, a := range arcs {
+			if side[a.u] && !side[a.v] {
+				cutCap += a.c
+			}
+		}
+		if cutCap != val {
+			t.Fatalf("trial %d: flow %d != cut %d", trial, val, cutCap)
+		}
+	}
+}
+
+func TestMaxWeightClosureAllPositive(t *testing.T) {
+	val, set := MaxWeightClosure([]int64{3, 4, 5}, nil)
+	if val != 12 {
+		t.Fatalf("value = %d, want 12", val)
+	}
+	for i, in := range set {
+		if !in {
+			t.Fatalf("vertex %d excluded from all-positive closure", i)
+		}
+	}
+}
+
+func TestMaxWeightClosureAllNegative(t *testing.T) {
+	val, set := MaxWeightClosure([]int64{-1, -2}, nil)
+	if val != 0 {
+		t.Fatalf("value = %d, want 0 (empty closure)", val)
+	}
+	for i, in := range set {
+		if in {
+			t.Fatalf("vertex %d included in closure of all-negative weights", i)
+		}
+	}
+}
+
+func TestMaxWeightClosurePrecedence(t *testing.T) {
+	// Taking vertex 0 (+5) requires vertex 1 (-3): net +2, worth it.
+	// Taking vertex 2 (+1) requires vertex 3 (-4): net -3, not worth it.
+	weights := []int64{5, -3, 1, -4}
+	requires := [][2]int{{0, 1}, {2, 3}}
+	val, set := MaxWeightClosure(weights, requires)
+	if val != 2 {
+		t.Fatalf("value = %d, want 2", val)
+	}
+	if !set[0] || !set[1] || set[2] || set[3] {
+		t.Fatalf("closure = %v, want {0,1}", set)
+	}
+}
+
+func TestMaxWeightClosureChain(t *testing.T) {
+	// 0 requires 1 requires 2; weights +10, -4, -5 → take all, value 1.
+	val, set := MaxWeightClosure([]int64{10, -4, -5}, [][2]int{{0, 1}, {1, 2}})
+	if val != 1 {
+		t.Fatalf("value = %d, want 1", val)
+	}
+	if !set[0] || !set[1] || !set[2] {
+		t.Fatalf("closure = %v, want all", set)
+	}
+}
+
+// TestClosureAgainstBruteForce cross-checks the flow-based closure solver
+// against exhaustive enumeration on small random instances.
+func TestClosureAgainstBruteForce(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(10)
+		weights := make([]int64, n)
+		for i := range weights {
+			weights[i] = int64(r.Intn(21) - 10)
+		}
+		var requires [][2]int
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && r.Float64() < 0.15 {
+					requires = append(requires, [2]int{i, j})
+				}
+			}
+		}
+		got, gotSet := MaxWeightClosure(weights, requires)
+
+		// Brute force over all subsets.
+		var best int64
+		for mask := 0; mask < 1<<n; mask++ {
+			ok := true
+			for _, req := range requires {
+				if mask&(1<<req[0]) != 0 && mask&(1<<req[1]) == 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			var w int64
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w += weights[i]
+				}
+			}
+			if w > best {
+				best = w
+			}
+		}
+		if got != best {
+			t.Fatalf("trial %d: closure value %d, brute force %d", trial, got, best)
+		}
+		// Verify the returned set is a valid closure achieving the value.
+		var setVal int64
+		for i, in := range gotSet {
+			if in {
+				setVal += weights[i]
+			}
+		}
+		if setVal != got {
+			t.Fatalf("trial %d: returned set value %d != reported %d", trial, setVal, got)
+		}
+		for _, req := range requires {
+			if gotSet[req[0]] && !gotSet[req[1]] {
+				t.Fatalf("trial %d: returned set violates precedence %v", trial, req)
+			}
+		}
+	}
+}
+
+func TestAddArcPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNetwork(2).AddArc(0, 5, 1)
+}
+
+func TestAddArcPanicsNegativeCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNetwork(2).AddArc(0, 1, -1)
+}
+
+// TestFlowConservationRandom uses quick.Check over small random layered
+// networks: flow must never exceed both the source out-capacity and sink
+// in-capacity.
+func TestFlowConservationRandom(t *testing.T) {
+	fn := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(8)
+		g := NewNetwork(n)
+		var srcCap, sinkCap int64
+		for i := 0; i < 2*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(1 + r.Intn(10))
+			g.AddArc(u, v, c)
+			if u == 0 {
+				srcCap += c
+			}
+			if v == n-1 {
+				sinkCap += c
+			}
+		}
+		f := g.MaxFlow(0, n-1)
+		return f >= 0 && f <= srcCap && f <= sinkCap
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMaxFlowGrid(b *testing.B) {
+	// A k×k grid network from corner to corner.
+	const k = 30
+	id := func(i, j int) int { return i*k + j }
+	for n := 0; n < b.N; n++ {
+		g := NewNetwork(k * k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if i+1 < k {
+					g.AddArc(id(i, j), id(i+1, j), 3)
+				}
+				if j+1 < k {
+					g.AddArc(id(i, j), id(i, j+1), 2)
+				}
+			}
+		}
+		g.MaxFlow(0, k*k-1)
+	}
+}

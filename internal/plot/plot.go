@@ -1,0 +1,175 @@
+// Package plot renders minimal SVG line charts with the standard library
+// only. It exists to regenerate the paper's Figure 11 as actual plots
+// (speedup vs. processors, one curve per scheduler) rather than tables;
+// cmd/lhws-bench writes them with -svg.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a single line chart. Zero-valued dimensions default to 640×440.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Width  int
+	Height int
+}
+
+// palette holds the series colors (colorblind-safe hues).
+var palette = []string{"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9"}
+
+const (
+	marginLeft   = 64.0
+	marginRight  = 24.0
+	marginTop    = 40.0
+	marginBottom = 52.0
+)
+
+// SVG renders the chart.
+func (c *Chart) SVG() string {
+	w, h := float64(c.Width), float64(c.Height)
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 440
+	}
+	plotW := w - marginLeft - marginRight
+	plotH := h - marginTop - marginBottom
+
+	xMin, xMax, yMin, yMax := c.bounds()
+	xTicks := niceTicks(xMin, xMax, 7)
+	yTicks := niceTicks(yMin, yMax, 6)
+	// Expand the range to the tick extremes so curves stay inside.
+	if len(xTicks) > 0 {
+		xMin = math.Min(xMin, xTicks[0])
+		xMax = math.Max(xMax, xTicks[len(xTicks)-1])
+	}
+	if len(yTicks) > 0 {
+		yMin = math.Min(yMin, yTicks[0])
+		yMax = math.Max(yMax, yTicks[len(yTicks)-1])
+	}
+	sx := func(x float64) float64 {
+		if xMax == xMin {
+			return marginLeft + plotW/2
+		}
+		return marginLeft + (x-xMin)/(xMax-xMin)*plotW
+	}
+	sy := func(y float64) float64 {
+		if yMax == yMin {
+			return marginTop + plotH/2
+		}
+		return marginTop + plotH - (y-yMin)/(yMax-yMin)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="24" font-family="sans-serif" font-size="15" text-anchor="middle" font-weight="bold">%s</text>`+"\n", w/2, escape(c.Title))
+
+	// Gridlines and ticks.
+	for _, t := range yTicks {
+		y := sy(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="#e0e0e0"/>`+"\n", marginLeft, y, w-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n", marginLeft-6, y+4, formatTick(t))
+	}
+	for _, t := range xTicks {
+		x := sx(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%g" x2="%.1f" y2="%g" stroke="#e0e0e0"/>`+"\n", x, marginTop, x, h-marginBottom)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n", x, h-marginBottom+16, formatTick(t))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginLeft, h-marginBottom, w-marginRight, h-marginBottom)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginLeft, marginTop, marginLeft, h-marginBottom)
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n", marginLeft+plotW/2, h-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n", marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[i]), sy(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n", strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", sx(s.X[i]), sy(s.Y[i]), color)
+		}
+		// Legend entry.
+		lx := marginLeft + 12
+		ly := marginTop + 10 + float64(si)*18
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n", lx, ly, lx+22, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12">%s</text>`+"\n", lx+28, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// bounds returns the data extents across all series, defaulting the minima
+// to zero (speedup plots anchor at the origin, like the paper's).
+func (c *Chart) bounds() (xMin, xMax, yMin, yMax float64) {
+	xMin, yMin = 0, 0
+	xMax, yMax = 1, 1
+	for _, s := range c.Series {
+		for i := range s.X {
+			xMax = math.Max(xMax, s.X[i])
+			yMax = math.Max(yMax, s.Y[i])
+			xMin = math.Min(xMin, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+		}
+	}
+	return
+}
+
+// niceTicks returns ~n human-friendly tick positions covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	rawStep := span / float64(n-1)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch norm := rawStep / mag; {
+	case norm <= 1:
+		step = mag
+	case norm <= 2:
+		step = 2 * mag
+	case norm <= 5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	start := math.Floor(lo/step) * step
+	var ticks []float64
+	for t := start; t <= hi+step/2; t += step {
+		ticks = append(ticks, t)
+	}
+	return ticks
+}
+
+func formatTick(t float64) string {
+	if t == math.Trunc(t) && math.Abs(t) < 1e7 {
+		return fmt.Sprintf("%d", int64(t))
+	}
+	return fmt.Sprintf("%.2g", t)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

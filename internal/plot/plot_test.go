@@ -1,0 +1,116 @@
+package plot
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "δ = 500ms",
+		XLabel: "proc",
+		YLabel: "speedup",
+		Series: []Series{
+			{Name: "LHWS", X: []float64{1, 2, 4, 8}, Y: []float64{4, 8, 16, 33}},
+			{Name: "WS", X: []float64{1, 2, 4, 8}, Y: []float64{1, 2, 4, 8}},
+		},
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	svg := sampleChart().SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "circle",
+		"LHWS", "WS", "proc", "speedup", "δ = 500ms",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 8 {
+		t.Errorf("markers = %d, want 8", got)
+	}
+}
+
+// TestPointsInsideViewport parses every plotted coordinate and checks it
+// lies within the chart dimensions.
+func TestPointsInsideViewport(t *testing.T) {
+	c := sampleChart()
+	c.Width, c.Height = 500, 400
+	svg := c.SVG()
+	re := regexp.MustCompile(`c[xy]="([0-9.]+)"`)
+	for _, m := range re.FindAllStringSubmatch(svg, -1) {
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 0 || v > 500 {
+			t.Fatalf("coordinate %v outside viewport", v)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	svg := (&Chart{Series: []Series{{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}}}).SVG()
+	if !strings.Contains(svg, `width="640" height="440"`) {
+		t.Error("default dimensions not applied")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &Chart{Title: `a<b>&"c"`, Series: []Series{{Name: "x<y", X: []float64{1}, Y: []float64{1}}}}
+	svg := c.SVG()
+	if strings.Contains(svg, "a<b>") || strings.Contains(svg, "x<y") {
+		t.Error("unescaped markup in output")
+	}
+	if !strings.Contains(svg, "a&lt;b&gt;") {
+		t.Error("escape missing")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 30, 7)
+	if len(ticks) < 4 {
+		t.Fatalf("too few ticks: %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[0] > 0 || ticks[len(ticks)-1] < 30 {
+		t.Fatalf("ticks %v do not cover [0,30]", ticks)
+	}
+}
+
+func TestNiceTicksDegenerate(t *testing.T) {
+	if got := niceTicks(5, 5, 5); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("degenerate ticks = %v", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(30) != "30" {
+		t.Errorf("formatTick(30) = %q", formatTick(30))
+	}
+	if formatTick(0.25) != "0.25" {
+		t.Errorf("formatTick(0.25) = %q", formatTick(0.25))
+	}
+}
+
+func TestManySeriesCycleColors(t *testing.T) {
+	c := &Chart{}
+	for i := 0; i < 8; i++ {
+		c.Series = append(c.Series, Series{Name: fmt.Sprintf("s%d", i), X: []float64{0, 1}, Y: []float64{float64(i), float64(i + 1)}})
+	}
+	svg := c.SVG()
+	if got := strings.Count(svg, "<polyline"); got != 8 {
+		t.Errorf("polylines = %d, want 8", got)
+	}
+}

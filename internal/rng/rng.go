@@ -1,0 +1,116 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used by the schedulers for steal-victim selection.
+//
+// Reproducibility is a first-class requirement for the simulator: given a
+// seed, an entire multi-worker execution must be bit-for-bit repeatable so
+// that experiments and regression tests are stable. The standard library's
+// math/rand is avoided because (a) its global state is shared and locked,
+// and (b) we want explicit per-worker streams that can be derived ("split")
+// from a root seed without correlation.
+//
+// The generator is xoshiro256**, a small-state generator with good
+// statistical quality and a cheap jump-free split via SplitMix64 reseeding.
+package rng
+
+import "math/bits"
+
+// RNG is a xoshiro256** pseudo-random number generator. The zero value is
+// invalid; construct with New. RNG is not safe for concurrent use; give
+// each worker its own stream via Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used to expand seeds into full xoshiro state, per the reference
+// implementation's recommendation.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given seed. Two generators built
+// from the same seed produce identical streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state; SplitMix64 cannot
+	// produce four consecutive zeros from any seed, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0. Uses Lemire's multiply-shift rejection method to avoid modulo
+// bias without divisions in the common case.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		threshold := -un % un
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Split returns a new generator derived from this one. The child's stream
+// is statistically independent of the parent's subsequent outputs: the
+// child state is expanded from a fresh draw via SplitMix64. Split advances
+// the parent.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64())
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice, using the
+// Fisher–Yates shuffle.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided
+// swap function, mirroring math/rand.Shuffle.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

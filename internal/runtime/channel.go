@@ -1,0 +1,174 @@
+package runtime
+
+import "sync"
+
+// Chan is a task-level message channel with latency-hiding blocking
+// semantics: a task that receives from an empty channel (or sends to a
+// full bounded channel) suspends exactly like a task performing a latency
+// operation — it is paired with its worker's active deque and resumed by
+// the peer's matching operation — so channel waits never stall workers in
+// LatencyHiding mode. The paper's introduction names "messaging
+// primitives" among the latency-incurring operations the model covers;
+// Chan is that primitive for this runtime.
+//
+// In Blocking mode, a receiver first helps by running tasks from its own
+// deque (else a single worker would deadlock against a producer task in
+// its own deque) and then blocks the worker on a condition variable;
+// sends never block (see sendBlocking), so capacity only exerts
+// backpressure under latency hiding.
+//
+// A Chan must only be used from tasks of a single Run invocation.
+type Chan[T any] struct {
+	mu       sync.Mutex
+	cond     *sync.Cond // blocking mode wakeups
+	buf      []T
+	capacity int // < 1 means unbounded
+	recvq    []chanRecvWaiter[T]
+	sendq    []chanSendWaiter[T]
+}
+
+type chanRecvWaiter[T any] struct {
+	t    *task
+	slot *T
+}
+
+type chanSendWaiter[T any] struct {
+	t   *task
+	val T
+}
+
+// NewChan returns a channel with the given capacity; capacity < 1 means
+// unbounded (sends never block).
+func NewChan[T any](capacity int) *Chan[T] {
+	ch := &Chan[T]{capacity: capacity}
+	ch.cond = sync.NewCond(&ch.mu)
+	return ch
+}
+
+// Len returns the number of buffered values.
+func (ch *Chan[T]) Len() int {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return len(ch.buf)
+}
+
+// Send delivers v, suspending (LatencyHiding) or blocking (Blocking) while
+// a bounded channel is full.
+func (ch *Chan[T]) Send(c *Ctx, v T) {
+	if c.t.rt.cfg.Mode == Blocking {
+		ch.sendBlocking(v)
+		return
+	}
+	ch.mu.Lock()
+	// Direct handoff to a suspended receiver, if any.
+	if len(ch.recvq) > 0 {
+		w := ch.recvq[0]
+		ch.recvq = ch.recvq[1:]
+		*w.slot = v
+		ch.mu.Unlock()
+		w.t.home.addResumed(w.t)
+		return
+	}
+	if ch.capacity < 1 || len(ch.buf) < ch.capacity {
+		ch.buf = append(ch.buf, v)
+		ch.mu.Unlock()
+		return
+	}
+	// Full: suspend this task until a receiver makes room.
+	t := c.t
+	home := c.w.active
+	t.home = home
+	home.suspend()
+	ch.sendq = append(ch.sendq, chanSendWaiter[T]{t: t, val: v})
+	ch.mu.Unlock()
+	t.rt.stats.Suspensions.Add(1)
+	c.yield()
+}
+
+// Recv takes the next value, suspending (LatencyHiding) or blocking
+// (Blocking) while the channel is empty.
+func (ch *Chan[T]) Recv(c *Ctx) T {
+	if c.t.rt.cfg.Mode == Blocking {
+		return ch.recvBlocking(c)
+	}
+	ch.mu.Lock()
+	if v, ok := ch.takeLocked(); ok {
+		ch.mu.Unlock()
+		return v
+	}
+	// Empty: suspend until a sender hands a value over.
+	t := c.t
+	home := c.w.active
+	t.home = home
+	home.suspend()
+	var slot T
+	ch.recvq = append(ch.recvq, chanRecvWaiter[T]{t: t, slot: &slot})
+	ch.mu.Unlock()
+	t.rt.stats.Suspensions.Add(1)
+	c.yield()
+	return slot
+}
+
+// TryRecv takes a value if one is buffered, without suspending.
+func (ch *Chan[T]) TryRecv() (T, bool) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.takeLocked()
+}
+
+// takeLocked removes the head of the buffer and admits one waiting sender.
+func (ch *Chan[T]) takeLocked() (T, bool) {
+	var zero T
+	if len(ch.buf) == 0 {
+		return zero, false
+	}
+	v := ch.buf[0]
+	ch.buf = ch.buf[1:]
+	if len(ch.sendq) > 0 {
+		s := ch.sendq[0]
+		ch.sendq = ch.sendq[1:]
+		ch.buf = append(ch.buf, s.val)
+		// Resume outside the lock is unnecessary: addResumed takes only
+		// the deque lock, which is never held while ch.mu is held.
+		s.t.home.addResumed(s.t)
+	}
+	return v, true
+}
+
+// sendBlocking never blocks: in Blocking mode a receiver may be helping —
+// running producer tasks inline on its own goroutine — so a sender waiting
+// for that very receiver to drain the buffer would deadlock. The baseline
+// therefore buffers without bound; capacity-based backpressure is only
+// meaningful under latency hiding, where a full send suspends the task
+// rather than the worker.
+func (ch *Chan[T]) sendBlocking(v T) {
+	ch.mu.Lock()
+	ch.buf = append(ch.buf, v)
+	ch.cond.Broadcast()
+	ch.mu.Unlock()
+}
+
+func (ch *Chan[T]) recvBlocking(c *Ctx) T {
+	for {
+		ch.mu.Lock()
+		if len(ch.buf) > 0 {
+			v := ch.buf[0]
+			ch.buf = ch.buf[1:]
+			ch.cond.Broadcast()
+			ch.mu.Unlock()
+			return v
+		}
+		ch.mu.Unlock()
+		// Help: run a task from the worker's own deque (the producer may
+		// be queued right there); block only when nothing local remains.
+		if it, ok := c.w.active.q.PopBottom(); ok {
+			c.w.runTask(it.(*task))
+			continue
+		}
+		ch.mu.Lock()
+		if len(ch.buf) == 0 {
+			ch.cond.Wait()
+		}
+		ch.mu.Unlock()
+	}
+}

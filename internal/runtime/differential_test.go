@@ -1,0 +1,130 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"lhws/internal/rng"
+)
+
+// randomProgram is a seeded random fork-join computation: a tree where
+// each node either computes a leaf value, spawns children and combines
+// their results, or incurs a small latency before continuing. The same
+// tree evaluates deterministically without the runtime (the oracle), so
+// any scheduling bug that drops, duplicates, or reorders a join shows up
+// as a wrong value.
+type randomProgram struct {
+	kind     int // 0: leaf, 1: fork, 2: latency-then-child
+	value    int64
+	children []*randomProgram
+}
+
+func genProgram(r *rng.RNG, depth int) *randomProgram {
+	if depth == 0 || r.Float64() < 0.3 {
+		return &randomProgram{kind: 0, value: int64(r.Intn(1000))}
+	}
+	if r.Float64() < 0.25 {
+		return &randomProgram{kind: 2, children: []*randomProgram{genProgram(r, depth-1)}}
+	}
+	n := 1 + r.Intn(3)
+	p := &randomProgram{kind: 1}
+	for i := 0; i < n; i++ {
+		p.children = append(p.children, genProgram(r, depth-1))
+	}
+	return p
+}
+
+// oracle evaluates the program sequentially.
+func (p *randomProgram) oracle() int64 {
+	switch p.kind {
+	case 0:
+		return p.value
+	case 2:
+		return 1 + p.children[0].oracle()
+	default:
+		// Non-commutative combine: alternating signs weighted by position,
+		// so join order and completeness both matter.
+		var acc int64
+		for i, c := range p.children {
+			acc = acc*3 + int64(i+1)*c.oracle()
+		}
+		return acc
+	}
+}
+
+// eval runs the program on the runtime with the same combine structure.
+func (p *randomProgram) eval(c *Ctx) int64 {
+	switch p.kind {
+	case 0:
+		return p.value
+	case 2:
+		c.Latency(200 * time.Microsecond)
+		return 1 + p.children[0].eval(c)
+	default:
+		// Spawn all children but the first; evaluate the first inline
+		// (continuation), then fold in spawn order.
+		vals := make([]*Value[int64], len(p.children))
+		for i := 1; i < len(p.children); i++ {
+			child := p.children[i]
+			vals[i] = SpawnValue(c, func(cc *Ctx) int64 { return child.eval(cc) })
+		}
+		first := p.children[0].eval(c)
+		var acc int64
+		for i := range p.children {
+			var v int64
+			if i == 0 {
+				v = first
+			} else {
+				v = vals[i].Await(c)
+			}
+			acc = acc*3 + int64(i+1)*v
+		}
+		return acc
+	}
+}
+
+// TestDifferentialAgainstOracle runs 40 random programs on both modes and
+// several worker counts and demands exact agreement with the sequential
+// oracle.
+func TestDifferentialAgainstOracle(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		p := genProgram(rng.New(seed), 6)
+		want := p.oracle()
+		for _, m := range modes() {
+			for _, workers := range []int{1, 3} {
+				var got int64
+				_, err := Run(Config{Workers: workers, Mode: m, Seed: seed}, func(c *Ctx) {
+					got = p.eval(c)
+				})
+				if err != nil {
+					t.Fatalf("seed %d %v P=%d: %v", seed, m, workers, err)
+				}
+				if got != want {
+					t.Fatalf("seed %d %v P=%d: got %d, oracle %d", seed, m, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// FuzzDifferentialOracle extends the differential test to fuzzed seeds and
+// depths.
+func FuzzDifferentialOracle(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(2))
+	f.Add(uint64(99), uint8(7), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, depthRaw, pRaw uint8) {
+		p := genProgram(rng.New(seed), int(depthRaw%7))
+		want := p.oracle()
+		workers := 1 + int(pRaw)%4
+		var got int64
+		_, err := Run(Config{Workers: workers, Mode: LatencyHiding, Seed: seed}, func(c *Ctx) {
+			got = p.eval(c)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("got %d, oracle %d", got, want)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package runtime
+
+import "sync"
+
+// Future is the completion handle of a spawned task.
+type Future struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	done    bool
+	waiters []*task // suspended tasks to resume on completion (LHWS mode)
+}
+
+func newFuture() *Future {
+	f := &Future{}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// complete marks the future done, resumes suspended waiters (latency-hiding
+// mode), and wakes blocked workers (blocking mode).
+func (f *Future) complete() {
+	f.mu.Lock()
+	f.done = true
+	waiters := f.waiters
+	f.waiters = nil
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	for _, t := range waiters {
+		t.home.addResumed(t)
+	}
+}
+
+// Done reports whether the future has completed. It never blocks.
+func (f *Future) Done() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.done
+}
+
+// Await blocks the calling task until the spawned task completes.
+//
+// In LatencyHiding mode, an Await on an incomplete future suspends the
+// task exactly like a latency operation: the task is paired with the
+// worker's active deque and resumed by the completing task's callback.
+//
+// In Blocking mode, the worker first helps — repeatedly popping its own
+// deque and running tasks inline (the conventional join protocol of
+// blocking work-stealing runtimes; without it a single worker would
+// deadlock on its own children) — and blocks on a condition variable once
+// no local work remains.
+func (f *Future) Await(c *Ctx) {
+	if c.t.rt.cfg.Mode == Blocking {
+		f.awaitBlocking(c)
+		return
+	}
+	t := c.t
+	home := c.w.active
+	// Order matters: make the suspension visible on the deque before
+	// registering as a waiter, so a completion racing with this Await sees
+	// a consistent counter when it fires addResumed.
+	home.suspend()
+	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		home.mu.Lock()
+		home.suspendCtr--
+		home.mu.Unlock()
+		return
+	}
+	t.home = home
+	f.waiters = append(f.waiters, t)
+	f.mu.Unlock()
+	t.rt.stats.Suspensions.Add(1)
+	c.yield()
+}
+
+func (f *Future) awaitBlocking(c *Ctx) {
+	for {
+		if f.Done() {
+			return
+		}
+		// Help: run tasks from the worker's own deque inline. The awaiting
+		// task holds the worker's owner role, so it may pop and grant the
+		// role to a sub-task for the duration of the inline run.
+		if it, ok := c.w.active.q.PopBottom(); ok {
+			c.w.runTask(it.(*task))
+			continue
+		}
+		// Nothing local: block until completion. Work available elsewhere
+		// stays available to other workers — this worker is blocked, which
+		// is precisely the baseline's cost.
+		f.mu.Lock()
+		for !f.done {
+			f.cond.Wait()
+		}
+		f.mu.Unlock()
+		return
+	}
+}
+
+// Value is a Future carrying a result of type T. Create with SpawnValue.
+type Value[T any] struct {
+	fut *Future
+	v   T
+}
+
+// SpawnValue spawns f as a child task and returns a handle from which the
+// result can be awaited.
+func SpawnValue[T any](c *Ctx, f func(*Ctx) T) *Value[T] {
+	v := &Value[T]{}
+	v.fut = c.Spawn(func(cc *Ctx) { v.v = f(cc) })
+	return v
+}
+
+// Await blocks until the child completes and returns its result.
+func (v *Value[T]) Await(c *Ctx) T {
+	v.fut.Await(c)
+	return v.v
+}
+
+// Done reports whether the result is available.
+func (v *Value[T]) Done() bool { return v.fut.Done() }

@@ -1,0 +1,137 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForCoversRange(t *testing.T) {
+	for _, m := range modes() {
+		for _, grain := range []int{1, 3, 16, 100} {
+			var hits [97]atomic.Int32
+			_, err := Run(Config{Workers: 3, Mode: m}, func(c *Ctx) {
+				For(c, 0, len(hits), grain, func(cc *Ctx, i int) {
+					hits[i].Add(1)
+				})
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("%v grain=%d: index %d visited %d times", m, grain, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForEmptyAndSingle(t *testing.T) {
+	var n atomic.Int32
+	_, err := Run(Config{Workers: 1, Mode: LatencyHiding}, func(c *Ctx) {
+		For(c, 5, 5, 1, func(cc *Ctx, i int) { n.Add(1) }) // empty
+		For(c, 7, 8, 1, func(cc *Ctx, i int) {
+			if i != 7 {
+				panic("wrong index")
+			}
+			n.Add(1)
+		})
+		For(c, 0, 3, 0, func(cc *Ctx, i int) { n.Add(1) }) // grain clamped to 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 4 {
+		t.Fatalf("bodies ran %d times, want 4", n.Load())
+	}
+}
+
+func TestForWithLatencyOverlaps(t *testing.T) {
+	const n = 16
+	st, err := Run(Config{Workers: 2, Mode: LatencyHiding}, func(c *Ctx) {
+		For(c, 0, n, 1, func(cc *Ctx, i int) {
+			cc.Latency(10 * time.Millisecond)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Wall > n*10*time.Millisecond/4 {
+		t.Errorf("For with latency took %v; waits did not overlap", st.Wall)
+	}
+}
+
+func TestMapReduceSum(t *testing.T) {
+	for _, m := range modes() {
+		var got int64
+		_, err := Run(Config{Workers: 3, Mode: m}, func(c *Ctx) {
+			got = MapReduce(c, 0, 100, 0, func(cc *Ctx, i int) int64 {
+				return int64(i)
+			}, func(a, b int64) int64 { return a + b })
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 4950 {
+			t.Fatalf("%v: sum = %d, want 4950", m, got)
+		}
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	_, err := Run(Config{Workers: 1, Mode: LatencyHiding}, func(c *Ctx) {
+		if got := MapReduce(c, 3, 3, -1, func(cc *Ctx, i int) int { return i }, func(a, b int) int { return a + b }); got != -1 {
+			panic("empty range should return identity")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapReduceWithSuspension(t *testing.T) {
+	// The §5 distributed map-reduce, as one call: fetch with latency, map,
+	// reduce.
+	var got int64
+	st, err := Run(Config{Workers: 4, Mode: LatencyHiding}, func(c *Ctx) {
+		got = MapReduce(c, 0, 64, 0, func(cc *Ctx, i int) int64 {
+			cc.Latency(2 * time.Millisecond) // getValue
+			return int64(i * 2)              // f(x)
+		}, func(a, b int64) int64 { return a + b })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 64*63 {
+		t.Fatalf("sum = %d, want %d", got, 64*63)
+	}
+	if st.Wall > 40*time.Millisecond {
+		t.Errorf("64 overlapped 2ms fetches took %v", st.Wall)
+	}
+}
+
+func TestMapReduceNonCommutativeOrder(t *testing.T) {
+	// Concatenation: reduce must preserve left-to-right order regardless
+	// of execution interleaving.
+	var got string
+	_, err := Run(Config{Workers: 4, Mode: LatencyHiding}, func(c *Ctx) {
+		got = MapReduce(c, 0, 10, "", func(cc *Ctx, i int) string {
+			return string(rune('a' + i))
+		}, func(a, b string) string { return a + b })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "abcdefghij" {
+		t.Fatalf("order broken: %q", got)
+	}
+}
+
+func BenchmarkParallelFor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Run(Config{Workers: 2, Mode: LatencyHiding}, func(c *Ctx) {
+			For(c, 0, 256, 16, func(cc *Ctx, i int) { busyWork(100) })
+		})
+	}
+}

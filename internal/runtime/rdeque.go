@@ -1,0 +1,75 @@
+package runtime
+
+import (
+	"sync"
+
+	"lhws/internal/deque"
+)
+
+// rdeque is a worker-owned deque with the suspension bookkeeping of
+// Table 1: a lock-free Chase–Lev deque of tasks plus a suspension counter
+// and the set of resumed tasks awaiting re-injection.
+//
+// Concurrency contract: items are accessed through the lock-free deque
+// (owner-side push/pop by whichever goroutine currently holds the owner
+// role — the worker loop or the task it is running — and PopTop by any
+// thief). suspendCtr, resumed, and inResumedSet are guarded by mu because
+// resume callbacks fire on timer and completer goroutines.
+type rdeque struct {
+	q     *deque.ChaseLev
+	owner *worker
+
+	mu           sync.Mutex
+	suspendCtr   int
+	resumed      []*task
+	inResumedSet bool
+}
+
+func newRdeque(owner *worker) *rdeque {
+	return &rdeque{q: deque.NewChaseLev(), owner: owner}
+}
+
+// suspend records that a task belonging to this deque has suspended.
+func (d *rdeque) suspend() {
+	d.mu.Lock()
+	d.suspendCtr++
+	d.mu.Unlock()
+}
+
+// addResumed is the resume callback (Figure 3, lines 1-5): called by timer
+// or future-completion goroutines when a suspended task becomes runnable
+// again. It appends the task to the deque's resumed set and registers the
+// deque with its owner.
+func (d *rdeque) addResumed(t *task) {
+	d.mu.Lock()
+	d.resumed = append(d.resumed, t)
+	d.suspendCtr--
+	first := !d.inResumedSet
+	if first {
+		d.inResumedSet = true
+	}
+	d.mu.Unlock()
+	if first {
+		d.owner.noteResumedDeque(d)
+	}
+}
+
+// takeResumed removes and returns the resumed set, clearing the
+// registration flag. Called by the owner when injecting resumed tasks.
+func (d *rdeque) takeResumed() []*task {
+	d.mu.Lock()
+	ts := d.resumed
+	d.resumed = nil
+	d.inResumedSet = false
+	d.mu.Unlock()
+	return ts
+}
+
+// idle reports whether the deque holds no items, no suspended tasks, and
+// no pending resumed tasks — i.e. it can be dropped.
+func (d *rdeque) idle() bool {
+	d.mu.Lock()
+	ok := d.suspendCtr == 0 && len(d.resumed) == 0 && !d.inResumedSet
+	d.mu.Unlock()
+	return ok && d.q.Empty()
+}

@@ -1,0 +1,199 @@
+// Package runtime is a real (wall-clock) latency-hiding work-stealing task
+// runtime: the Go counterpart of the paper's Standard ML prototype (§6).
+//
+// The simulated schedulers in package sched execute abstract weighted dags
+// under the unit-cost round model used by the analysis; this package runs
+// actual Go code. User-level tasks are multiplexed over a fixed pool of
+// worker goroutines. As in §6 of the paper, scheduling happens at task
+// granularity: the scheduler runs when a task ends, spawns, awaits another
+// task, or performs a latency-incurring operation.
+//
+// Two modes implement the paper's comparison:
+//
+//   - LatencyHiding: the LHWS algorithm. Each worker owns a set of deques,
+//     one active at a time. A task that suspends (Latency or Await on an
+//     incomplete Future) is paired with its worker's active deque; when it
+//     resumes, a callback returns it to that deque, and the owner injects
+//     it back at the next scheduling point. Workers with an empty active
+//     deque first switch to another owned ready deque, then steal — per §6,
+//     steals target a random victim worker and then one of its ready
+//     deques.
+//
+//   - Blocking: standard work stealing. Latency operations block the
+//     worker for their full duration (time.Sleep on the worker's
+//     goroutine); Await helps by running queued tasks inline and otherwise
+//     blocks the worker until the future completes.
+//
+// Tasks are goroutines, but scheduled cooperatively: a task runs only while
+// it holds its worker's slot, and control passes back to the worker loop at
+// every scheduling point. This is the standard way to build a user-level
+// scheduler above the Go runtime, which does not expose its own scheduler
+// for replacement.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lhws/internal/rng"
+)
+
+// Mode selects the scheduling algorithm.
+type Mode int
+
+const (
+	// LatencyHiding runs the LHWS algorithm (multi-deque, suspending).
+	LatencyHiding Mode = iota
+	// Blocking runs standard work stealing with blocking latency ops.
+	Blocking
+)
+
+func (m Mode) String() string {
+	switch m {
+	case LatencyHiding:
+		return "latency-hiding"
+	case Blocking:
+		return "blocking"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config configures a runtime execution.
+type Config struct {
+	// Workers is the number of worker goroutines (P). Must be ≥ 1.
+	Workers int
+	// Mode selects latency-hiding or blocking scheduling.
+	Mode Mode
+	// Seed drives steal-victim selection. Unlike the simulator, wall-clock
+	// executions are not bit-reproducible, but seeding keeps victim
+	// sequences stable.
+	Seed uint64
+}
+
+// Stats reports counters from one execution. All counts are totals across
+// workers.
+type Stats struct {
+	TasksRun           int64         // task run slices (resumptions included)
+	TasksSpawned       int64         // tasks created
+	Suspensions        int64         // task suspensions (latency + await)
+	Switches           int64         // deque switches
+	StealAttempts      int64         // steal attempts
+	Steals             int64         // successful steals
+	MaxDequesPerWorker int32         // high-water mark of live deques on one worker
+	Wall               time.Duration // wall-clock duration of Run
+}
+
+// ErrConfig reports an invalid Config.
+var ErrConfig = errors.New("runtime: invalid config")
+
+// ErrTaskPanic wraps a panic raised inside a task; Run returns it with the
+// panic value formatted into the message.
+var ErrTaskPanic = errors.New("runtime: task panicked")
+
+// Run executes root (and everything it spawns) to completion on a fresh
+// worker pool and returns execution statistics.
+func Run(cfg Config, root func(*Ctx)) (*Stats, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("%w: Workers must be >= 1, got %d", ErrConfig, cfg.Workers)
+	}
+	rt := &runtimeState{cfg: cfg, done: make(chan struct{})}
+	seeds := rng.New(cfg.Seed)
+	rt.workers = make([]*worker, cfg.Workers)
+	for i := range rt.workers {
+		rt.workers[i] = newWorker(rt, i, seeds.Split())
+	}
+
+	rootTask := newTask(rt, func(c *Ctx) { root(c) })
+	rt.liveTasks.Add(1)
+	rt.stats.TasksSpawned.Add(1)
+	w0 := rt.workers[0]
+	w0.assigned = rootTask
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range rt.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.loop()
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rt.panicMu.Lock()
+	panicked, panicVal := rt.panicked, rt.panicVal
+	rt.panicMu.Unlock()
+	if panicked {
+		return nil, fmt.Errorf("%w: %v", ErrTaskPanic, panicVal)
+	}
+
+	st := &Stats{
+		TasksRun:           rt.stats.TasksRun.Load(),
+		TasksSpawned:       rt.stats.TasksSpawned.Load(),
+		Suspensions:        rt.stats.Suspensions.Load(),
+		Switches:           rt.stats.Switches.Load(),
+		StealAttempts:      rt.stats.StealAttempts.Load(),
+		Steals:             rt.stats.Steals.Load(),
+		MaxDequesPerWorker: rt.stats.MaxDeques.Load(),
+		Wall:               wall,
+	}
+	return st, nil
+}
+
+// runtimeState is the shared state of one Run invocation.
+type runtimeState struct {
+	cfg       Config
+	workers   []*worker
+	liveTasks atomic.Int64
+	done      chan struct{}
+	doneOnce  sync.Once
+	stats     atomicStats
+
+	panicMu  sync.Mutex
+	panicVal any
+	panicked bool
+}
+
+// recordPanic stores the first task panic and forces shutdown so Run can
+// return it as an error.
+func (rt *runtimeState) recordPanic(v any) {
+	rt.panicMu.Lock()
+	if !rt.panicked {
+		rt.panicked = true
+		rt.panicVal = v
+	}
+	rt.panicMu.Unlock()
+	rt.doneOnce.Do(func() { close(rt.done) })
+}
+
+type atomicStats struct {
+	TasksRun      atomic.Int64
+	TasksSpawned  atomic.Int64
+	Suspensions   atomic.Int64
+	Switches      atomic.Int64
+	StealAttempts atomic.Int64
+	Steals        atomic.Int64
+	MaxDeques     atomic.Int32
+}
+
+// taskDone decrements the live-task count and signals completion when it
+// reaches zero.
+func (rt *runtimeState) taskDone() {
+	if rt.liveTasks.Add(-1) == 0 {
+		rt.doneOnce.Do(func() { close(rt.done) })
+	}
+}
+
+func (rt *runtimeState) finished() bool {
+	select {
+	case <-rt.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,116 @@
+package runtime
+
+import "time"
+
+// reportKind is what a task tells its current worker when control returns
+// to the worker loop.
+type reportKind int8
+
+const (
+	reportDone reportKind = iota
+	reportSuspended
+)
+
+// task is a user-level thread. Tasks are backed by goroutines but run
+// cooperatively: a task executes only between receiving a worker on its
+// resume channel and sending a report, so at most one of {worker loop,
+// its current task} is active per worker at any instant. That mutual
+// exclusion is what makes owner-side deque operations from task code safe.
+type task struct {
+	rt      *runtimeState
+	fn      func(*Ctx)
+	resume  chan *worker    // scheduler → task: run on this worker
+	report  chan reportKind // task → scheduler: done or suspended
+	started bool            // goroutine launched (owner-role access only)
+	home    *rdeque         // deque the task belongs to while suspended
+}
+
+func newTask(rt *runtimeState, fn func(*Ctx)) *task {
+	return &task{
+		rt:     rt,
+		fn:     fn,
+		resume: make(chan *worker, 1),
+		report: make(chan reportKind, 1),
+	}
+}
+
+// main is the task goroutine body: wait for the first grant, run the user
+// function, then report completion. A panic in the user function is
+// recorded on the runtime (surfaced as Run's error) instead of crashing
+// the process; the task still reports done so its worker continues, and
+// its future still completes (Spawn arranges that) so joins unwind.
+func (t *task) main() {
+	w := <-t.resume
+	c := &Ctx{w: w, t: t}
+	defer func() {
+		if r := recover(); r != nil {
+			t.rt.recordPanic(r)
+		}
+		t.rt.taskDone()
+		t.report <- reportDone
+	}()
+	t.fn(c)
+}
+
+// Ctx is a task's handle to the runtime: the capability to spawn, await,
+// and perform latency operations. A Ctx is only valid within the task it
+// was passed to; nested tasks receive their own Ctx.
+type Ctx struct {
+	w *worker
+	t *task
+}
+
+// Worker returns the index of the worker currently running the task
+// (useful for instrumentation; it may change across suspension points).
+func (c *Ctx) Worker() int { return c.w.id }
+
+// Spawn creates a child task executing f and makes it available for
+// parallel execution by pushing it onto the bottom of the current active
+// deque. The parent continues running (spawn is non-preemptive: the
+// continuation keeps the worker, per §3). The returned Future completes
+// when the child finishes.
+func (c *Ctx) Spawn(f func(*Ctx)) *Future {
+	fut := newFuture()
+	child := newTask(c.t.rt, func(cc *Ctx) {
+		// Complete even if f panics, so tasks awaiting this child unwind
+		// instead of waiting forever; the panic itself is recorded by
+		// task.main and returned from Run.
+		defer fut.complete()
+		f(cc)
+	})
+	c.t.rt.liveTasks.Add(1)
+	c.t.rt.stats.TasksSpawned.Add(1)
+	// The running task holds the owner role of its worker, so pushing onto
+	// the active deque is owner-side and safe.
+	c.w.active.q.PushBottom(child)
+	return fut
+}
+
+// Latency models a latency-incurring operation (a remote call, a disk
+// read, a user prompt) taking d of wall-clock time but no CPU.
+//
+// In LatencyHiding mode the task suspends: a timer callback returns it to
+// its deque when d elapses and the worker immediately schedules other
+// work. In Blocking mode the worker sleeps for the full duration — the
+// baseline behaviour the paper's evaluation compares against.
+func (c *Ctx) Latency(d time.Duration) {
+	if c.t.rt.cfg.Mode == Blocking {
+		time.Sleep(d)
+		return
+	}
+	t := c.t
+	t.rt.stats.Suspensions.Add(1)
+	home := c.w.active
+	t.home = home
+	home.suspend()
+	time.AfterFunc(d, func() { home.addResumed(t) })
+	c.yield()
+}
+
+// yield returns control to the worker loop, reporting suspension, and
+// parks until some worker resumes the task; the Ctx is rebound to the
+// resuming worker.
+func (c *Ctx) yield() {
+	c.t.report <- reportSuspended
+	c.w = <-c.t.resume
+}

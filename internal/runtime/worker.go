@@ -1,0 +1,274 @@
+package runtime
+
+import (
+	goruntime "runtime"
+	"sync"
+	"time"
+
+	"lhws/internal/rng"
+)
+
+// worker is one scheduling loop. In latency-hiding mode it owns a dynamic
+// collection of deques (one active); in blocking mode it owns exactly one.
+type worker struct {
+	rt  *runtimeState
+	id  int
+	rnd *rng.RNG
+
+	// mu guards the fields thieves and resume callbacks touch: the active
+	// pointer, the ready-deque list, and the resumed-deque list.
+	mu        sync.Mutex
+	active    *rdeque
+	ready     []*rdeque
+	resumedDq []*rdeque
+
+	assigned     *task
+	live         int32 // allocated deques owned (Lemma 7 observable)
+	failedSteals int
+}
+
+func newWorker(rt *runtimeState, id int, r *rng.RNG) *worker {
+	return &worker{rt: rt, id: id, rnd: r}
+}
+
+func (w *worker) loop() {
+	w.adoptDeque(newRdeque(w))
+	if w.rt.cfg.Mode == Blocking {
+		w.loopBlocking()
+		return
+	}
+	for {
+		w.drainResumed()
+		t := w.assigned
+		w.assigned = nil
+		if t == nil && w.active != nil {
+			if it, ok := w.active.q.PopBottom(); ok {
+				t = it.(*task)
+			}
+		}
+		if t != nil {
+			w.failedSteals = 0
+			w.runTask(t)
+			continue
+		}
+		w.retireActive()
+		if w.trySwitch() {
+			continue
+		}
+		if w.trySteal() {
+			continue
+		}
+		if w.rt.finished() {
+			return
+		}
+		w.backoff()
+	}
+}
+
+func (w *worker) loopBlocking() {
+	for {
+		t := w.assigned
+		w.assigned = nil
+		if t == nil {
+			if it, ok := w.active.q.PopBottom(); ok {
+				t = it.(*task)
+			}
+		}
+		if t != nil {
+			w.failedSteals = 0
+			w.runTask(t) // blocking tasks always run to completion
+			continue
+		}
+		if w.tryStealBlocking() {
+			continue
+		}
+		if w.rt.finished() {
+			return
+		}
+		w.backoff()
+	}
+}
+
+// runTask grants the worker's slot to the task and waits for it to either
+// finish or suspend. Also used inline by blocking-mode Await to help run
+// queued tasks.
+func (w *worker) runTask(t *task) reportKind {
+	w.rt.stats.TasksRun.Add(1)
+	if !t.started {
+		t.started = true
+		go t.main()
+	}
+	t.resume <- w
+	return <-t.report
+}
+
+// drainResumed implements addResumedVertices (Figure 3, lines 7-14) at
+// task granularity: push every resumed task back onto its owning deque and
+// mark non-active deques ready. Per §6's simplifications, resumed tasks
+// are pushed individually rather than wrapped in a pfor closure.
+func (w *worker) drainResumed() {
+	w.mu.Lock()
+	dqs := w.resumedDq
+	w.resumedDq = nil
+	w.mu.Unlock()
+	if len(dqs) == 0 {
+		return
+	}
+	for _, d := range dqs {
+		for _, t := range d.takeResumed() {
+			d.q.PushBottom(t)
+		}
+		if d != w.active {
+			w.addReady(d)
+		}
+	}
+}
+
+// noteResumedDeque registers a deque whose first resumed task just
+// arrived. Called from timer and completion goroutines.
+func (w *worker) noteResumedDeque(d *rdeque) {
+	w.mu.Lock()
+	w.resumedDq = append(w.resumedDq, d)
+	w.mu.Unlock()
+}
+
+func (w *worker) addReady(d *rdeque) {
+	w.mu.Lock()
+	found := false
+	for _, q := range w.ready {
+		if q == d {
+			found = true
+			break
+		}
+	}
+	if !found {
+		w.ready = append(w.ready, d)
+	}
+	w.mu.Unlock()
+}
+
+// retireActive drops an exhausted active deque, or abandons it (keeping
+// ownership for pending callbacks) when tasks belonging to it are still
+// suspended.
+func (w *worker) retireActive() {
+	a := w.active
+	if a == nil {
+		return
+	}
+	drop := a.idle()
+	w.mu.Lock()
+	w.active = nil
+	if drop {
+		w.live--
+	}
+	w.mu.Unlock()
+}
+
+// trySwitch activates one of the worker's ready deques (Figure 3,
+// lines 46-48).
+func (w *worker) trySwitch() bool {
+	w.mu.Lock()
+	n := len(w.ready)
+	if n == 0 {
+		w.mu.Unlock()
+		return false
+	}
+	d := w.ready[n-1]
+	w.ready = w.ready[:n-1]
+	w.active = d
+	w.mu.Unlock()
+	w.rt.stats.Switches.Add(1)
+	return true
+}
+
+// trySteal performs one steal attempt under the §6 policy: choose a random
+// victim worker, then a random deque among its active and ready deques.
+func (w *worker) trySteal() bool {
+	w.rt.stats.StealAttempts.Add(1)
+	victim := w.pickVictim()
+	if victim == nil {
+		return false
+	}
+	victim.mu.Lock()
+	var cands []*rdeque
+	if victim.active != nil {
+		cands = append(cands, victim.active)
+	}
+	cands = append(cands, victim.ready...)
+	var target *rdeque
+	if len(cands) > 0 {
+		target = cands[w.rnd.Intn(len(cands))]
+	}
+	victim.mu.Unlock()
+	if target == nil {
+		return false
+	}
+	it, ok := target.q.PopTop()
+	if !ok {
+		return false
+	}
+	w.rt.stats.Steals.Add(1)
+	w.adoptDeque(newRdeque(w))
+	w.assigned = it.(*task)
+	return true
+}
+
+func (w *worker) tryStealBlocking() bool {
+	w.rt.stats.StealAttempts.Add(1)
+	victim := w.pickVictim()
+	if victim == nil {
+		return false
+	}
+	victim.mu.Lock()
+	target := victim.active
+	victim.mu.Unlock()
+	if target == nil {
+		return false // victim loop not yet started
+	}
+	it, ok := target.q.PopTop()
+	if !ok {
+		return false
+	}
+	w.rt.stats.Steals.Add(1)
+	w.assigned = it.(*task)
+	return true
+}
+
+func (w *worker) pickVictim() *worker {
+	n := len(w.rt.workers)
+	if n == 1 {
+		return nil
+	}
+	vi := w.rnd.Intn(n - 1)
+	if vi >= w.id {
+		vi++
+	}
+	return w.rt.workers[vi]
+}
+
+// adoptDeque installs a fresh deque as the active deque and updates the
+// per-worker allocation high-water mark.
+func (w *worker) adoptDeque(d *rdeque) {
+	w.mu.Lock()
+	w.active = d
+	w.live++
+	live := w.live
+	w.mu.Unlock()
+	for {
+		cur := w.rt.stats.MaxDeques.Load()
+		if live <= cur || w.rt.stats.MaxDeques.CompareAndSwap(cur, live) {
+			break
+		}
+	}
+}
+
+// backoff yields the processor between failed steal attempts, escalating
+// to short sleeps so timer goroutines can run even on GOMAXPROCS=1.
+func (w *worker) backoff() {
+	w.failedSteals++
+	if w.failedSteals < 8 {
+		goruntime.Gosched()
+		return
+	}
+	time.Sleep(50 * time.Microsecond)
+}

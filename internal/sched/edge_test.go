@@ -1,0 +1,239 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"lhws/internal/dag"
+	"lhws/internal/workload"
+)
+
+// TestSingleVertexAllSchedulers: the smallest dag completes in one round
+// of work for every scheduler at every P.
+func TestSingleVertexAllSchedulers(t *testing.T) {
+	b := dag.NewBuilder()
+	b.Vertex("only")
+	g := b.MustGraph()
+	for rname, run := range runners() {
+		for _, p := range []int{1, 2, 16} {
+			res, err := run(g, Options{Workers: p, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", rname, p, err)
+			}
+			if res.Stats.UserWork != 1 || res.ExecRound[0] != 0 {
+				t.Errorf("%s P=%d: root not executed in round 0", rname, p)
+			}
+		}
+	}
+}
+
+// TestTwoVertexHeavyEdge: the minimal latency dag — root --δ--> final —
+// must take at least δ rounds on every scheduler.
+func TestTwoVertexHeavyEdge(t *testing.T) {
+	b := dag.NewBuilder()
+	u := b.Vertex("")
+	v := b.Vertex("")
+	b.Heavy(u, v, 17)
+	g := b.MustGraph()
+	for rname, run := range runners() {
+		res, err := run(g, Options{Workers: 4, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", rname, err)
+		}
+		if res.ExecRound[v]-res.ExecRound[u] < 17 {
+			t.Errorf("%s: latency not respected: %d", rname, res.ExecRound[v]-res.ExecRound[u])
+		}
+		if res.Stats.Rounds < 18 {
+			t.Errorf("%s: rounds %d < 18", rname, res.Stats.Rounds)
+		}
+	}
+}
+
+// TestWideFork: a maximal-breadth fork tree saturates all workers; rounds
+// must approach W/P for large P on the pure-compute part.
+func TestWideFork(t *testing.T) {
+	g := workload.Fib(15).G
+	r16, err := RunLHWS(g, Options{Workers: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := g.Work() / 16
+	if r16.Stats.Rounds < lower {
+		t.Fatalf("rounds %d below the work lower bound %d", r16.Stats.Rounds, lower)
+	}
+	if r16.Stats.Rounds > 4*lower+g.Span() {
+		t.Errorf("rounds %d far above W/P=%d: poor load balance", r16.Stats.Rounds, lower)
+	}
+}
+
+// TestManyMoreWorkersThanWork: P far beyond the dag's parallelism must
+// still terminate promptly (idle workers just fail steals).
+func TestManyMoreWorkersThanWork(t *testing.T) {
+	g := chainGraph(t, 10)
+	for rname, run := range runners() {
+		res, err := run(g, Options{Workers: 64, Seed: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", rname, err)
+		}
+		if res.Stats.Rounds < 10 || res.Stats.Rounds > 13 {
+			t.Errorf("%s: chain of 10 took %d rounds on 64 workers", rname, res.Stats.Rounds)
+		}
+	}
+}
+
+// TestDequeRecyclingBoundsAllocation: on the server workload (U=1), total
+// deques ever allocated must stay small — recycling via emptyDeques
+// (Figure 5) keeps allocation proportional to workers, not to suspensions.
+func TestDequeRecyclingBoundsAllocation(t *testing.T) {
+	g := workload.Server(workload.ServerConfig{Requests: 50, Delta: 20, FibWork: 4}).G
+	res, err := RunLHWS(g, Options{Workers: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 suspensions/resumptions, yet allocation should be ~P·(U+1), far
+	// below one deque per resume.
+	if res.Stats.TotalDequesAllocated > 4*4 {
+		t.Errorf("allocated %d deques for 50 resumes on 4 workers; recycling broken",
+			res.Stats.TotalDequesAllocated)
+	}
+}
+
+// TestMaxRoundsDefaultSufficient: the default MaxRounds never trips on
+// legitimate executions, even degenerate ones.
+func TestMaxRoundsDefaultSufficient(t *testing.T) {
+	// Worst case for the default bound: huge latency, tiny work.
+	b := dag.NewBuilder()
+	u := b.Vertex("")
+	v := b.Vertex("")
+	b.Heavy(u, v, 1_000_000)
+	g := b.MustGraph()
+	res, err := RunLHWS(g, Options{Workers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds < 1_000_000 {
+		t.Fatal("latency skipped")
+	}
+}
+
+// TestTracerWithVariants: tracing composes with the §7 variants without
+// perturbing the execution.
+func TestTracerWithVariants(t *testing.T) {
+	g := workload.MapReduce(workload.MapReduceConfig{N: 16, Delta: 19, FibWork: 3}).G
+	for _, v := range []Variant{VariantPaper, VariantSuspendDeque, VariantResumeNewDeque} {
+		plain, err := RunLHWS(g, Options{Workers: 3, Seed: 6, Variant: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := &countingTracer{}
+		traced, err := RunLHWS(g, Options{Workers: 3, Seed: 6, Variant: v, Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Stats != traced.Stats {
+			t.Errorf("variant %v: tracer changed execution", v)
+		}
+		if tr.n == 0 {
+			t.Errorf("variant %v: tracer never called", v)
+		}
+	}
+}
+
+type countingTracer struct{ n int64 }
+
+func (c *countingTracer) Record(round int64, worker int, a Action) { c.n++ }
+
+// TestStealSuccessesNeverExceedAttempts and other stat sanity relations.
+func TestStatsSanityRelations(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		for rname, run := range runners() {
+			res, err := run(g, Options{Workers: 5, Seed: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := res.Stats
+			if s.StealSuccesses > s.StealAttempts {
+				t.Errorf("%s/%s: successes %d > attempts %d", gname, rname, s.StealSuccesses, s.StealAttempts)
+			}
+			if s.Rounds <= 0 || s.UserWork != g.Work() {
+				t.Errorf("%s/%s: rounds %d work %d", gname, rname, s.Rounds, s.UserWork)
+			}
+			if s.MaxSuspended < 0 || s.MaxDequesPerWorker < 0 {
+				t.Errorf("%s/%s: negative high-water marks", gname, rname)
+			}
+		}
+	}
+}
+
+// TestExecRoundsWithinTotal: no vertex executes at or after Stats.Rounds.
+func TestExecRoundsWithinTotal(t *testing.T) {
+	g := workload.MapReduce(workload.MapReduceConfig{N: 20, Delta: 23, FibWork: 3}).G
+	for rname, run := range runners() {
+		res, err := run(g, Options{Workers: 3, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, r := range res.ExecRound {
+			if r >= res.Stats.Rounds {
+				t.Fatalf("%s: vertex %d executed at round %d >= total %d", rname, v, r, res.Stats.Rounds)
+			}
+		}
+	}
+}
+
+// TestInvariantErrorWrapped: invariant failures (if ever manufactured)
+// surface as ErrInvariant. We can't trigger a real violation on a correct
+// scheduler, so verify the error identity plumbing via ErrRoundLimit,
+// which shares the same return path.
+func TestErrorIdentities(t *testing.T) {
+	g := workload.MapReduce(workload.MapReduceConfig{N: 8, Delta: 100, FibWork: 2}).G
+	_, err := RunLHWS(g, Options{Workers: 1, Seed: 1, MaxRounds: 5})
+	if !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("err = %v", err)
+	}
+	if errors.Is(err, ErrInvariant) || errors.Is(err, ErrStuck) {
+		t.Fatal("error identities conflated")
+	}
+}
+
+// TestFigure4Scenario reconstructs the state illustrated in the paper's
+// Figure 4 — multiple workers, one with several deques, suspended vertices
+// pending — and checks the scheduler drains it correctly. The dag gives
+// worker-visible structure: three parallel branches that each suspend.
+func TestFigure4Scenario(t *testing.T) {
+	b := dag.NewBuilder()
+	root := b.Vertex("root")
+	var exits []dag.VertexID
+	entries := make([]dag.VertexID, 3)
+	for i := 0; i < 3; i++ {
+		get := b.Vertex("get")
+		work, workEnd := b.Chain(dag.None, 4)
+		b.Heavy(get, work, int64(10+i*7))
+		entries[i] = get
+		exits = append(exits, workEnd)
+	}
+	// Spawn tree for the three branches.
+	f1 := b.Vertex("")
+	b.Light(root, f1)
+	b.Light(root, entries[2])
+	b.Light(f1, entries[0])
+	b.Light(f1, entries[1])
+	acc := exits[0]
+	for _, e := range exits[1:] {
+		acc = b.Join(acc, e)
+	}
+	g := b.MustGraph()
+	if g.SuspensionWidth() != 3 {
+		t.Fatalf("U = %d, want 3", g.SuspensionWidth())
+	}
+	for _, p := range []int{1, 2, 3} {
+		res, err := RunLHWS(g, Options{Workers: p, Seed: 10, CheckInvariants: true})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		assertValidExecution(t, g, res)
+		if res.Stats.MaxSuspended != 3 {
+			t.Errorf("P=%d: MaxSuspended = %d, want 3 (all branches overlap)", p, res.Stats.MaxSuspended)
+		}
+	}
+}

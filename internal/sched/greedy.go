@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"lhws/internal/dag"
+)
+
+// RunGreedy executes the dag with an offline greedy schedule on p workers:
+// in every round, as many ready vertices as there are workers (or fewer,
+// if fewer are ready) execute. Theorem 1 guarantees the resulting schedule
+// length is at most W/p + S for weighted dags, which GreedyBound exposes
+// and the test suite asserts.
+//
+// The scheduler is deterministic: ready vertices execute in the order they
+// became ready (ties broken by vertex ID).
+func RunGreedy(g *dag.Graph, p int) (*Result, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("sched: Workers must be >= 1, got %d", p)
+	}
+	n := g.NumVertices()
+	joinLeft := make([]int32, n)
+	execRound := make([]int64, n)
+	for v := 0; v < n; v++ {
+		joinLeft[v] = int32(g.InDegree(dag.VertexID(v)))
+		execRound[v] = -1
+	}
+
+	var stats Stats
+	pending := &vertexHeap{}
+	heap.Init(pending)
+	heap.Push(pending, heapItem{at: 0, v: g.Root()})
+
+	var round int64
+	remaining := int64(n)
+	var ready []dag.VertexID
+	curSuspended := 0
+	for remaining > 0 {
+		// Advance to the next round at which work exists, counting the
+		// idle worker-rounds in between (all-workers-idle rounds happen in
+		// weighted dags when every enabled vertex is suspended — the case
+		// that distinguishes Theorem 1's bound from ABP's).
+		if len(ready) == 0 {
+			if pending.Len() == 0 {
+				return nil, ErrStuck
+			}
+			next := (*pending)[0].at
+			if next > round {
+				stats.IdleRounds += int64(p) * (next - round)
+				round = next
+			}
+		}
+		for pending.Len() > 0 && (*pending)[0].at <= round {
+			it := heap.Pop(pending).(heapItem)
+			if it.suspended {
+				curSuspended--
+			}
+			ready = append(ready, it.v)
+		}
+		exec := len(ready)
+		if exec > p {
+			exec = p
+		}
+		if exec < p {
+			stats.IdleRounds += int64(p - exec)
+		}
+		for _, v := range ready[:exec] {
+			execRound[v] = round
+			stats.UserWork++
+			remaining--
+			for _, e := range g.OutEdges(v) {
+				joinLeft[e.To]--
+				if joinLeft[e.To] > 0 {
+					continue
+				}
+				suspended := e.Heavy()
+				if suspended {
+					curSuspended++
+					if curSuspended > stats.MaxSuspended {
+						stats.MaxSuspended = curSuspended
+					}
+				}
+				heap.Push(pending, heapItem{at: round + e.Weight, v: e.To, suspended: suspended})
+			}
+		}
+		ready = ready[exec:]
+		round++
+	}
+	stats.Rounds = round
+	return &Result{Stats: stats, ExecRound: execRound}, nil
+}
+
+// GreedyBound returns the Theorem 1 bound W/p + S (rounded up) for the
+// given dag and worker count.
+func GreedyBound(g *dag.Graph, p int) int64 {
+	w := g.Work()
+	return (w+int64(p)-1)/int64(p) + g.Span()
+}
+
+type heapItem struct {
+	at        int64
+	v         dag.VertexID
+	suspended bool
+}
+
+type vertexHeap []heapItem
+
+func (h vertexHeap) Len() int { return len(h) }
+func (h vertexHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].v < h[j].v
+}
+func (h vertexHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *vertexHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *vertexHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

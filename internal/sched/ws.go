@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"lhws/internal/dag"
+	"lhws/internal/rng"
+)
+
+// RunWS executes the dag with standard (non-latency-hiding) work stealing:
+// one deque per worker, random-worker steals, and — the defining property
+// of the baseline in the paper's Figure 11 — blocking latency handling.
+// When an executed vertex enables a child over a heavy edge, the worker
+// busy-waits for the full latency and then continues with that child, as a
+// conventional runtime does when a task performs synchronous I/O. The
+// blocked worker's deque remains stealable by others.
+func RunWS(g *dag.Graph, opt Options) (*Result, error) {
+	o, err := opt.withDefaults(g)
+	if err != nil {
+		return nil, err
+	}
+	s := newWSSim(g, o)
+	return s.run()
+}
+
+type wsWorker struct {
+	id       int
+	rnd      *rng.RNG
+	deque    *ldeque
+	assigned *node
+	// blockedUntil is the first round at which the worker may run again;
+	// while round < blockedUntil the worker busy-waits on pending latency.
+	blockedUntil int64
+	// pending holds suspended children awaiting blockedUntil (at most two:
+	// a vertex has out-degree ≤ 2).
+	pending []dag.VertexID
+}
+
+type wsSim struct {
+	g   *dag.Graph
+	opt Options
+
+	round     int64
+	joinLeft  []int32
+	execRound []int64
+	remaining int64
+
+	workers      []*wsWorker
+	curSuspended int
+	queuedItems  int64
+	stats        Stats
+	rnd          *rng.RNG
+}
+
+func newWSSim(g *dag.Graph, opt Options) *wsSim {
+	n := g.NumVertices()
+	s := &wsSim{
+		g:         g,
+		opt:       opt,
+		joinLeft:  make([]int32, n),
+		execRound: make([]int64, n),
+		remaining: int64(n),
+		rnd:       rng.New(opt.Seed),
+	}
+	for v := 0; v < n; v++ {
+		s.joinLeft[v] = int32(g.InDegree(dag.VertexID(v)))
+		s.execRound[v] = -1
+	}
+	s.workers = make([]*wsWorker, opt.Workers)
+	for i := range s.workers {
+		s.workers[i] = &wsWorker{id: i, rnd: s.rnd.Split(), deque: &ldeque{id: i, owner: i}}
+	}
+	s.workers[0].assigned = &node{v: g.Root()}
+	s.stats.TotalDequesAllocated = opt.Workers
+	s.stats.MaxDequesPerWorker = 1
+	return s
+}
+
+func (s *wsSim) run() (*Result, error) {
+	p := len(s.workers)
+	hadAssigned := make([]bool, p)
+	perm := make([]int, p)
+	for s.remaining > 0 {
+		if s.round >= s.opt.MaxRounds {
+			return nil, ErrRoundLimit
+		}
+		executed := false
+		for i, w := range s.workers {
+			// A blocked worker whose latency expires this round resumes
+			// its pending child now.
+			if w.assigned == nil && len(w.pending) > 0 && s.round >= w.blockedUntil {
+				w.assigned = &node{v: w.pending[len(w.pending)-1]}
+				w.pending = w.pending[:len(w.pending)-1]
+				s.curSuspended--
+			}
+			hadAssigned[i] = w.assigned != nil && s.round >= w.blockedUntil
+			executed = executed || hadAssigned[i]
+		}
+		for i, w := range s.workers {
+			if hadAssigned[i] {
+				s.executeStep(w)
+				if s.opt.Tracer != nil {
+					s.opt.Tracer.Record(s.round, w.id, ActionWork)
+				}
+			} else if w.blockedUntil > s.round {
+				s.stats.BlockedRounds++
+				if s.opt.Tracer != nil {
+					s.opt.Tracer.Record(s.round, w.id, ActionBlocked)
+				}
+			}
+		}
+		if s.remaining == 0 {
+			s.round++
+			break
+		}
+		for i := range perm {
+			perm[i] = i
+		}
+		s.rnd.Shuffle(p, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for _, i := range perm {
+			w := s.workers[i]
+			if !hadAssigned[i] && w.blockedUntil <= s.round {
+				s.acquireStep(w)
+			}
+		}
+		s.round++
+
+		if !executed && s.queuedItems == 0 && s.remaining > 0 && s.noPendingLatency() {
+			return nil, ErrStuck
+		}
+	}
+	s.stats.Rounds = s.round
+	return &Result{Stats: s.stats, ExecRound: s.execRound}, nil
+}
+
+func (s *wsSim) noPendingLatency() bool {
+	for _, w := range s.workers {
+		if len(w.pending) > 0 || w.assigned != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *wsSim) executeStep(w *wsWorker) {
+	n := w.assigned
+	w.assigned = nil
+	v := n.v
+	if s.execRound[v] >= 0 {
+		panic("sched: vertex executed twice (scheduler bug)")
+	}
+	s.execRound[v] = s.round
+	s.stats.UserWork++
+	s.remaining--
+
+	edges := s.g.OutEdges(v)
+	// Handle the right child (spawned thread) first, then the left
+	// (continuation), matching the push order of the LHWS engine so the
+	// two schedulers differ only in latency handling.
+	for i := len(edges) - 1; i >= 0; i-- {
+		e := edges[i]
+		s.joinLeft[e.To]--
+		if s.joinLeft[e.To] > 0 {
+			continue
+		}
+		if e.Heavy() {
+			// Synchronous latency: the worker will busy-wait until the
+			// child's result is available, then continue with the child.
+			w.pending = append(w.pending, e.To)
+			if until := s.round + e.Weight; until > w.blockedUntil {
+				w.blockedUntil = until
+			}
+			s.curSuspended++
+			if s.curSuspended > s.stats.MaxSuspended {
+				s.stats.MaxSuspended = s.curSuspended
+			}
+			continue
+		}
+		w.deque.pushBottom(&node{v: e.To})
+		s.queuedItems++
+	}
+
+	if w.blockedUntil > s.round {
+		return // worker blocks; pending children run at blockedUntil
+	}
+	// An already-expired pending child (possible when a vertex suspended
+	// two children with different latencies) has priority: it is the
+	// blocked thread's continuation.
+	if len(w.pending) > 0 {
+		w.assigned = &node{v: w.pending[len(w.pending)-1]}
+		w.pending = w.pending[:len(w.pending)-1]
+		s.curSuspended--
+		return
+	}
+	if nb := w.deque.popBottom(); nb != nil {
+		s.queuedItems--
+		w.assigned = nb
+	}
+}
+
+func (s *wsSim) acquireStep(w *wsWorker) {
+	if nb := w.deque.popBottom(); nb != nil {
+		s.queuedItems--
+		w.assigned = nb
+		if s.opt.Tracer != nil {
+			s.opt.Tracer.Record(s.round, w.id, ActionSwitch)
+		}
+		return
+	}
+	// Classic ABP steal: uniformly random victim worker, take the top of
+	// its (single) deque.
+	s.stats.StealAttempts++
+	if len(s.workers) == 1 {
+		s.stats.IdleRounds++
+		if s.opt.Tracer != nil {
+			s.opt.Tracer.Record(s.round, w.id, ActionIdle)
+		}
+		return
+	}
+	vi := w.rnd.Intn(len(s.workers) - 1)
+	if vi >= w.id {
+		vi++
+	}
+	st := s.workers[vi].deque.popTop()
+	if st != nil {
+		s.queuedItems--
+		s.stats.StealSuccesses++
+		w.assigned = st
+	}
+	if s.opt.Tracer != nil {
+		a := ActionStealMiss
+		if st != nil {
+			a = ActionStealHit
+		}
+		s.opt.Tracer.Record(s.round, w.id, a)
+	}
+}

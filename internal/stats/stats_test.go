@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.Stddev != 0 || s.Min != 5 || s.Max != 5 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev of that classic dataset is ~2.138.
+	if math.Abs(s.Stddev-2.1381) > 0.001 {
+		t.Errorf("stddev = %v, want ~2.138", s.Stddev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummaryInvariants(t *testing.T) {
+	fn := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Stddev >= 0
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	if !strings.Contains(str, "n=3") || !strings.Contains(str, "2.00") {
+		t.Errorf("unexpected summary string %q", str)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("P", "rounds", "speedup")
+	tb.AddRowf(1, 1000, 1.0)
+	tb.AddRowf(16, 62, 16.13)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "P ") {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "16.13") {
+		t.Errorf("row line %q", lines[3])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator line %q", lines[1])
+	}
+}
+
+func TestTableExtraCellsDropped(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("1", "2", "3")
+	if strings.Contains(tb.String(), "3") {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestTableMissingCells(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("1")
+	out := tb.String()
+	if !strings.Contains(out, "1") {
+		t.Errorf("missing row: %s", out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := NewTable("x", "y")
+	tb.AddRowf(1, 2.5)
+	md := tb.Markdown()
+	want := "| x | y |\n|---|---|\n| 1 | 2.50 |\n"
+	if md != want {
+		t.Errorf("markdown = %q, want %q", md, want)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 5.5 {
+		t.Errorf("p50 = %v, want 5.5", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty p50 = %v", got)
+	}
+	if got := Percentile([]float64{7}, 95); got != 7 {
+		t.Errorf("single p95 = %v", got)
+	}
+}
+
+func TestPercentileUnsortedInput(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 9 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	if err := quick.Check(func(raw []float64, aRaw, bRaw uint8) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a, b := float64(aRaw%101), float64(bRaw%101)
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

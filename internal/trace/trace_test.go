@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"lhws/internal/sched"
+	"lhws/internal/workload"
+)
+
+func runTraced(t *testing.T, p int) (*Timeline, *sched.Result) {
+	t.Helper()
+	g := workload.MapReduce(workload.MapReduceConfig{N: 16, Delta: 13, FibWork: 3}).G
+	tl := NewTimeline(p)
+	res, err := sched.RunLHWS(g, sched.Options{Workers: p, Seed: 3, Tracer: tl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl, res
+}
+
+func TestTimelineMatchesStats(t *testing.T) {
+	tl, res := runTraced(t, 4)
+	b := tl.Buckets()
+	if b.Work != res.Stats.UserWork+res.Stats.PforWork {
+		t.Errorf("work bucket %d != UserWork+PforWork %d", b.Work, res.Stats.UserWork+res.Stats.PforWork)
+	}
+	if b.Switch != res.Stats.Switches {
+		t.Errorf("switch bucket %d != Switches %d", b.Switch, res.Stats.Switches)
+	}
+	if b.Steal != res.Stats.StealAttempts {
+		t.Errorf("steal bucket %d != StealAttempts %d", b.Steal, res.Stats.StealAttempts)
+	}
+}
+
+// TestLemma1TokenIdentity: in LHWS every worker acts every round except
+// rounds where it had no assigned vertex at round start and the final
+// partial round, so work+switch+steal tokens ≈ P·rounds minus idle cells.
+func TestLemma1TokenIdentity(t *testing.T) {
+	tl, res := runTraced(t, 4)
+	b := tl.Buckets()
+	total := b.Work + b.Switch + b.Steal + b.Blocked + b.Idle
+	if total != int64(4)*int64(tl.Rounds()) {
+		t.Errorf("token cells %d != P·rounds %d", total, 4*tl.Rounds())
+	}
+	if int64(tl.Rounds()) > res.Stats.Rounds {
+		t.Errorf("timeline rounds %d > stats rounds %d", tl.Rounds(), res.Stats.Rounds)
+	}
+}
+
+func TestTimelineRecordsAllWork(t *testing.T) {
+	g := workload.Fib(8).G
+	tl := NewTimeline(2)
+	res, err := sched.RunLHWS(g, sched.Options{Workers: 2, Seed: 1, Tracer: tl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := tl.Buckets(); b.Work != res.Stats.UserWork {
+		t.Errorf("work cells %d != work %d", b.Work, res.Stats.UserWork)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	tl, _ := runTraced(t, 4)
+	u := tl.Utilization()
+	if len(u) != tl.Rounds() {
+		t.Fatalf("utilization length %d != rounds %d", len(u), tl.Rounds())
+	}
+	for i, v := range u {
+		if v < 0 || v > 1 {
+			t.Fatalf("round %d: utilization %v out of [0,1]", i, v)
+		}
+	}
+	m := tl.MeanUtilization()
+	if m <= 0 || m > 1 {
+		t.Fatalf("mean utilization %v out of (0,1]", m)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	tl, _ := runTraced(t, 3)
+	g := tl.Gantt(50)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt has %d rows, want 3", len(lines))
+	}
+	if !strings.Contains(g, "W") {
+		t.Error("gantt shows no work cells")
+	}
+	if !strings.HasPrefix(lines[0], "w0") {
+		t.Errorf("gantt row label missing: %q", lines[0])
+	}
+	// Truncation marker present when limited below the round count.
+	if tl.Rounds() > 50 && !strings.Contains(g, "…") {
+		t.Error("expected truncation marker")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tl, _ := runTraced(t, 2)
+	csv := tl.CSV()
+	if !strings.HasPrefix(csv, "round,worker,action\n") {
+		t.Fatal("missing CSV header")
+	}
+	if !strings.Contains(csv, ",work\n") {
+		t.Error("CSV contains no work rows")
+	}
+	wantLines := tl.Rounds()*2 + 1
+	if got := strings.Count(csv, "\n"); got != wantLines {
+		t.Errorf("CSV has %d lines, want %d", got, wantLines)
+	}
+}
+
+func TestCounterMatchesTimeline(t *testing.T) {
+	g := workload.Server(workload.ServerConfig{Requests: 6, Delta: 11, FibWork: 3}).G
+	tl := NewTimeline(3)
+	c := &Counter{}
+	r1, err := sched.RunLHWS(g, sched.Options{Workers: 3, Seed: 7, Tracer: tl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sched.RunLHWS(g, sched.Options{Workers: 3, Seed: 7, Tracer: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats != r2.Stats {
+		t.Fatal("tracer choice changed execution")
+	}
+	tb := tl.Buckets()
+	// The Counter never sees idle cells (they are unrecorded rows in the
+	// Timeline), so compare the recorded buckets only.
+	if c.B.Work != tb.Work || c.B.Switch != tb.Switch || c.B.Steal != tb.Steal {
+		t.Errorf("counter %+v != timeline buckets %+v", c.B, tb)
+	}
+}
+
+func TestAtOutOfRange(t *testing.T) {
+	tl := NewTimeline(2)
+	if tl.At(5, 0) != sched.ActionIdle {
+		t.Error("out-of-range At should be idle")
+	}
+}
+
+func TestWSTimelineShowsBlocking(t *testing.T) {
+	g := workload.MapReduce(workload.MapReduceConfig{N: 8, Delta: 50, FibWork: 2}).G
+	tl := NewTimeline(2)
+	res, err := sched.RunWS(g, sched.Options{Workers: 2, Seed: 5, Tracer: tl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tl.Buckets()
+	if b.Blocked == 0 {
+		t.Error("WS timeline shows no blocked rounds on latency-bound workload")
+	}
+	if b.Blocked != res.Stats.BlockedRounds {
+		t.Errorf("blocked cells %d != BlockedRounds %d", b.Blocked, res.Stats.BlockedRounds)
+	}
+}
+
+func TestWorkerBucketsSumToTotals(t *testing.T) {
+	tl, _ := runTraced(t, 4)
+	per := tl.WorkerBuckets()
+	if len(per) != 4 {
+		t.Fatalf("got %d workers", len(per))
+	}
+	var sum Buckets
+	for _, b := range per {
+		sum.Work += b.Work
+		sum.Switch += b.Switch
+		sum.Steal += b.Steal
+		sum.Blocked += b.Blocked
+		sum.Idle += b.Idle
+	}
+	if sum != tl.Buckets() {
+		t.Fatalf("per-worker sum %+v != totals %+v", sum, tl.Buckets())
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	tl, _ := runTraced(t, 2)
+	s := tl.Summary()
+	for _, want := range []string{"worker", "w0", "w1", "total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

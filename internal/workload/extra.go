@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"fmt"
+
+	"lhws/internal/dag"
+	"lhws/internal/rng"
+)
+
+// IrregularConfig parameterizes a skewed distributed workload: like
+// MapReduce, but per-element work and latency are drawn from heavy-tailed
+// distributions, stressing the load balancer (steals) and the suspension
+// machinery simultaneously. Real fan-out workloads (RPC trees, web
+// crawls) are rarely uniform; this generator models that regime.
+type IrregularConfig struct {
+	Seed uint64
+	// N is the number of elements.
+	N int
+	// MaxFib bounds the per-element fib size; sizes are skewed so most
+	// elements are small and a few are MaxFib-sized.
+	MaxFib int
+	// MaxDelta bounds per-element latency, skewed the same way.
+	MaxDelta int64
+}
+
+// Irregular builds the skewed workload. U = N (all fetches can overlap).
+func Irregular(cfg IrregularConfig) *Workload {
+	if cfg.N < 1 || cfg.MaxFib < 1 || cfg.MaxDelta < 2 {
+		panic("workload: Irregular requires N, MaxFib >= 1 and MaxDelta >= 2")
+	}
+	r := rng.New(cfg.Seed)
+	b := dag.NewBuilder()
+	var rec func(lo, hi int) (dag.VertexID, dag.VertexID)
+	rec = func(lo, hi int) (dag.VertexID, dag.VertexID) {
+		if hi-lo == 1 {
+			// Skew: squaring a uniform [0,1) draw biases toward 0, giving
+			// a few large elements and many small ones.
+			u := r.Float64()
+			fib := 1 + int(u*u*float64(cfg.MaxFib))
+			delta := 2 + int64(r.Float64()*r.Float64()*float64(cfg.MaxDelta-2))
+			get := b.Vertex("get")
+			fe, fx := buildFib(b, fib)
+			b.Heavy(get, fe, delta)
+			return get, fx
+		}
+		mid := (lo + hi) / 2
+		fork := b.Vertex("")
+		le, lx := rec(lo, mid)
+		re, rx := rec(mid, hi)
+		b.Light(fork, le)
+		b.Light(fork, re)
+		return fork, b.Join(lx, rx)
+	}
+	rec(0, cfg.N)
+	return &Workload{
+		Name:      fmt.Sprintf("irregular(seed=%d,n=%d,maxfib=%d,maxdelta=%d)", cfg.Seed, cfg.N, cfg.MaxFib, cfg.MaxDelta),
+		G:         b.MustGraph(),
+		AnalyticU: cfg.N,
+	}
+}
+
+// NestedConfig parameterizes the composition of the two §5 examples: a
+// server whose per-request handler is itself a distributed map-reduce.
+// Requests arrive serially (server part, at most one pending arrival), but
+// each in-flight handler holds up to FanOut outstanding fetches. The widest
+// cut has every handler fully in flight after the last arrival:
+// U = Requests·FanOut (which dominates the (Requests−1)·FanOut + 1 cut with
+// an arrival still pending).
+type NestedConfig struct {
+	Requests int
+	FanOut   int
+	// ArrivalDelta is the request arrival latency, FetchDelta the handler's
+	// per-element fetch latency.
+	ArrivalDelta, FetchDelta int64
+	// FibWork sizes the per-element computation inside handlers.
+	FibWork int
+}
+
+// Nested builds the server-of-map-reduces workload.
+func Nested(cfg NestedConfig) *Workload {
+	if cfg.Requests < 1 || cfg.FanOut < 1 {
+		panic("workload: Nested requires Requests, FanOut >= 1")
+	}
+	if cfg.ArrivalDelta < 2 || cfg.FetchDelta < 2 {
+		panic("workload: Nested requires deltas >= 2")
+	}
+	b := dag.NewBuilder()
+	var handler func(lo, hi int) (dag.VertexID, dag.VertexID)
+	handler = func(lo, hi int) (dag.VertexID, dag.VertexID) {
+		if hi-lo == 1 {
+			get := b.Vertex("fetch")
+			fe, fx := buildFib(b, cfg.FibWork)
+			b.Heavy(get, fe, cfg.FetchDelta)
+			return get, fx
+		}
+		mid := (lo + hi) / 2
+		fork := b.Vertex("")
+		le, lx := handler(lo, mid)
+		re, rx := handler(mid, hi)
+		b.Light(fork, le)
+		b.Light(fork, re)
+		return fork, b.Join(lx, rx)
+	}
+
+	get := b.Vertex("get")
+	var handlerExits []dag.VertexID
+	prev := get
+	for i := 0; i < cfg.Requests; i++ {
+		recv := b.Vertex("recv")
+		b.Heavy(prev, recv, cfg.ArrivalDelta)
+		var cont dag.VertexID
+		if i < cfg.Requests-1 {
+			cont = b.Vertex("get")
+		} else {
+			cont = b.Vertex("done")
+		}
+		he, hx := handler(0, cfg.FanOut)
+		b.Light(recv, cont)
+		b.Light(recv, he)
+		handlerExits = append(handlerExits, hx)
+		prev = cont
+	}
+	acc := prev
+	for i := len(handlerExits) - 1; i >= 0; i-- {
+		acc = b.Join(handlerExits[i], acc)
+	}
+	return &Workload{
+		Name:      fmt.Sprintf("nested(req=%d,fan=%d)", cfg.Requests, cfg.FanOut),
+		G:         b.MustGraph(),
+		AnalyticU: cfg.Requests * cfg.FanOut,
+	}
+}

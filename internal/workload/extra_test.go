@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestIrregularValid(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		w := Irregular(IrregularConfig{Seed: seed, N: 24, MaxFib: 9, MaxDelta: 60})
+		if err := w.G.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := w.G.SuspensionWidth(); got != 24 {
+			t.Errorf("seed %d: U = %d, want 24", seed, got)
+		}
+	}
+}
+
+func TestIrregularIsSkewed(t *testing.T) {
+	// With a squared-uniform draw, small elements must outnumber large
+	// ones: the total work should be far below N·fib(MaxFib).
+	w := Irregular(IrregularConfig{Seed: 3, N: 200, MaxFib: 12, MaxDelta: 50})
+	uniformUpper := int64(200) * FibVertices(12)
+	if w.G.Work() >= uniformUpper/2 {
+		t.Errorf("work %d suggests no skew (uniform upper %d)", w.G.Work(), uniformUpper)
+	}
+}
+
+func TestIrregularDeterministic(t *testing.T) {
+	a := Irregular(IrregularConfig{Seed: 7, N: 30, MaxFib: 8, MaxDelta: 40})
+	b := Irregular(IrregularConfig{Seed: 7, N: 30, MaxFib: 8, MaxDelta: 40})
+	if a.G.Work() != b.G.Work() || a.G.Span() != b.G.Span() {
+		t.Fatal("Irregular not deterministic")
+	}
+}
+
+func TestNestedValidAndU(t *testing.T) {
+	for _, cfg := range []NestedConfig{
+		{Requests: 1, FanOut: 1, ArrivalDelta: 10, FetchDelta: 10, FibWork: 2},
+		{Requests: 3, FanOut: 4, ArrivalDelta: 20, FetchDelta: 8, FibWork: 2},
+		{Requests: 6, FanOut: 2, ArrivalDelta: 5, FetchDelta: 30, FibWork: 3},
+	} {
+		w := Nested(cfg)
+		if err := w.G.Validate(); err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if got := w.G.SuspensionWidth(); got != w.AnalyticU {
+			t.Errorf("%+v: exact U = %d, analytic %d", cfg, got, w.AnalyticU)
+		}
+	}
+}
+
+func TestNestedPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"requests": func() { Nested(NestedConfig{Requests: 0, FanOut: 1, ArrivalDelta: 5, FetchDelta: 5}) },
+		"delta":    func() { Nested(NestedConfig{Requests: 1, FanOut: 1, ArrivalDelta: 1, FetchDelta: 5}) },
+		"irr n":    func() { Irregular(IrregularConfig{N: 0, MaxFib: 1, MaxDelta: 5}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

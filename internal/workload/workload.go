@@ -1,0 +1,369 @@
+// Package workload generates the weighted computation dags used by the
+// paper's examples (§5), evaluation (§6.1, Figure 11), and this
+// reproduction's additional experiments.
+//
+// Every generator returns a Workload carrying the dag together with its
+// analytic suspension width when one is known in closed form, so the
+// experiment harness can check the simulator's observations against theory
+// (e.g. U = n for distributed map-reduce, U = 1 for the server).
+package workload
+
+import (
+	"fmt"
+
+	"lhws/internal/dag"
+	"lhws/internal/rng"
+)
+
+// Workload is a generated computation dag plus its provenance.
+type Workload struct {
+	// Name identifies the generator and parameters (stable across runs).
+	Name string
+	// G is the weighted computation dag.
+	G *dag.Graph
+	// AnalyticU is the closed-form suspension width, or -1 when unknown.
+	AnalyticU int
+}
+
+// String summarizes the workload and its metrics.
+func (w *Workload) String() string {
+	return fmt.Sprintf("%s: %s", w.Name, w.G.Summary())
+}
+
+// fibVertices returns the number of vertices in the parallel-fib dag for n.
+func fibVertices(n int) int64 {
+	if n < 2 {
+		return 1
+	}
+	return fibVertices(n-1) + fibVertices(n-2) + 2
+}
+
+// buildFib appends the dag of the naive recursive parallel Fibonacci
+// computation of n to the builder, returning its entry and exit vertices.
+// fib(n) forks fib(n-1) (continuation, left) and fib(n-2) (spawned, right)
+// and joins them with an addition vertex.
+func buildFib(b *dag.Builder, n int) (entry, exit dag.VertexID) {
+	if n < 2 {
+		v := b.Vertex("")
+		return v, v
+	}
+	fork := b.Vertex("")
+	le, lx := buildFib(b, n-1)
+	re, rx := buildFib(b, n-2)
+	b.Light(fork, le)
+	b.Light(fork, re)
+	join := b.Join(lx, rx)
+	return fork, join
+}
+
+// Fib returns the pure-computation parallel Fibonacci workload: no heavy
+// edges, U = 0. Under LHWS it must behave identically to standard work
+// stealing (the paper's U = 0 reduction).
+func Fib(n int) *Workload {
+	b := dag.NewBuilder()
+	buildFib(b, n)
+	return &Workload{
+		Name:      fmt.Sprintf("fib(n=%d)", n),
+		G:         b.MustGraph(),
+		AnalyticU: 0,
+	}
+}
+
+// MapReduceConfig parameterizes the distributed map-reduce workload of §5
+// (Figures 7 and 8): n values each fetched from a remote source with
+// latency Delta, mapped through a per-element computation, and combined in
+// a balanced reduction tree.
+type MapReduceConfig struct {
+	// N is the number of elements (remote fetches). The paper's Figure 11
+	// uses 5000.
+	N int
+	// Delta is the fetch latency in rounds (δ).
+	Delta int64
+	// FibWork sizes the per-element computation: the parallel Fibonacci
+	// dag of this input. The paper computes fib(30) per element; choose a
+	// value whose vertex count gives the desired work:latency ratio (see
+	// FibVertices).
+	FibWork int
+}
+
+// FibVertices reports the vertex count of the per-element fib dag for a
+// given FibWork parameter, for calibrating work:latency ratios.
+func FibVertices(fibWork int) int64 { return fibVertices(fibWork) }
+
+// MapReduce builds the distributed map-reduce workload. Each leaf is a
+// getValue vertex whose heavy out-edge (weight Delta) leads to the
+// per-element fib computation; results join pairwise. All n fetches can be
+// outstanding simultaneously, so U = n (§5).
+func MapReduce(cfg MapReduceConfig) *Workload {
+	if cfg.N < 1 {
+		panic("workload: MapReduce requires N >= 1")
+	}
+	if cfg.Delta < 2 {
+		panic("workload: MapReduce requires Delta >= 2 (a heavy edge)")
+	}
+	b := dag.NewBuilder()
+	var rec func(count int) (entry, exit dag.VertexID)
+	rec = func(count int) (dag.VertexID, dag.VertexID) {
+		if count == 1 {
+			get := b.Vertex("get")
+			fe, fx := buildFib(b, cfg.FibWork)
+			b.Heavy(get, fe, cfg.Delta)
+			return get, fx
+		}
+		half := count / 2
+		fork := b.Vertex("")
+		le, lx := rec(half)
+		re, rx := rec(count - half)
+		b.Light(fork, le)
+		b.Light(fork, re)
+		return fork, b.Join(lx, rx)
+	}
+	rec(cfg.N)
+	return &Workload{
+		Name:      fmt.Sprintf("mapreduce(n=%d,delta=%d,fib=%d)", cfg.N, cfg.Delta, cfg.FibWork),
+		G:         b.MustGraph(),
+		AnalyticU: cfg.N,
+	}
+}
+
+// ServerConfig parameterizes the "server" workload of §5 (Figures 9
+// and 10): requests arrive one at a time over a latency-Delta channel; each
+// request forks a handler computation while the server loops to await the
+// next request. Only one receive is outstanding at any time, so U = 1.
+type ServerConfig struct {
+	// Requests is the number of requests served before shutdown.
+	Requests int
+	// Delta is the request-arrival latency in rounds.
+	Delta int64
+	// FibWork sizes the per-request handler computation f(x).
+	FibWork int
+}
+
+// Server builds the server workload with suspension width 1.
+func Server(cfg ServerConfig) *Workload {
+	if cfg.Requests < 1 {
+		panic("workload: Server requires Requests >= 1")
+	}
+	if cfg.Delta < 2 {
+		panic("workload: Server requires Delta >= 2 (a heavy edge)")
+	}
+	b := dag.NewBuilder()
+	// getInput chain: each get suspends on the user, then forks the
+	// handler (right) and the recursive server loop (left).
+	get := b.Vertex("get")
+	var handlerExits []dag.VertexID
+	prev := get
+	for i := 0; i < cfg.Requests; i++ {
+		recv := b.Vertex("recv")
+		b.Heavy(prev, recv, cfg.Delta)
+		// recv forks: left = server continuation, right = handler f(x).
+		var cont dag.VertexID
+		if i < cfg.Requests-1 {
+			cont = b.Vertex("get")
+		} else {
+			cont = b.Vertex("done")
+		}
+		he, hx := buildFib(b, cfg.FibWork)
+		b.Light(recv, cont)
+		b.Light(recv, he)
+		handlerExits = append(handlerExits, hx)
+		prev = cont
+	}
+	// Joins reduce the handler results with the server tail, innermost
+	// request first (mirroring the recursive returns in Figure 10).
+	acc := prev
+	for i := len(handlerExits) - 1; i >= 0; i-- {
+		acc = b.Join(handlerExits[i], acc)
+	}
+	return &Workload{
+		Name:      fmt.Sprintf("server(req=%d,delta=%d,fib=%d)", cfg.Requests, cfg.Delta, cfg.FibWork),
+		G:         b.MustGraph(),
+		AnalyticU: 1,
+	}
+}
+
+// PipelineConfig parameterizes a streaming pipeline workload: Items flow
+// through Stages sequential stages; moving an item between stages incurs
+// latency Delta (e.g. a network hop), and each stage performs StageWork
+// units of serial computation. Items are independent, so up to Items
+// transfers can be in flight at once: U = Items.
+type PipelineConfig struct {
+	Items     int
+	Stages    int
+	StageWork int
+	Delta     int64
+}
+
+// Pipeline builds the streaming-pipeline workload.
+func Pipeline(cfg PipelineConfig) *Workload {
+	if cfg.Items < 1 || cfg.Stages < 1 || cfg.StageWork < 1 {
+		panic("workload: Pipeline requires Items, Stages, StageWork >= 1")
+	}
+	if cfg.Delta < 2 {
+		panic("workload: Pipeline requires Delta >= 2")
+	}
+	b := dag.NewBuilder()
+	// Fork tree over items.
+	var spawn func(count int) (entry dag.VertexID, exits []dag.VertexID)
+	spawn = func(count int) (dag.VertexID, []dag.VertexID) {
+		if count == 1 {
+			// One item: Stages stages of StageWork serial vertices,
+			// separated by heavy transfer edges.
+			first, last := b.Chain(dag.None, cfg.StageWork)
+			entry := first
+			for s := 1; s < cfg.Stages; s++ {
+				sf, sl := b.Chain(dag.None, cfg.StageWork)
+				b.Heavy(last, sf, cfg.Delta)
+				last = sl
+			}
+			return entry, []dag.VertexID{last}
+		}
+		half := count / 2
+		fork := b.Vertex("")
+		le, lx := spawn(half)
+		re, rx := spawn(count - half)
+		b.Light(fork, le)
+		b.Light(fork, re)
+		return fork, append(lx, rx...)
+	}
+	_, exits := spawn(cfg.Items)
+	// Reduce exits pairwise.
+	for len(exits) > 1 {
+		var next []dag.VertexID
+		for i := 0; i+1 < len(exits); i += 2 {
+			next = append(next, b.Join(exits[i], exits[i+1]))
+		}
+		if len(exits)%2 == 1 {
+			next = append(next, exits[len(exits)-1])
+		}
+		exits = next
+	}
+	analyticU := cfg.Items
+	if cfg.Stages == 1 {
+		analyticU = 0
+	}
+	return &Workload{
+		Name:      fmt.Sprintf("pipeline(items=%d,stages=%d,work=%d,delta=%d)", cfg.Items, cfg.Stages, cfg.StageWork, cfg.Delta),
+		G:         b.MustGraph(),
+		AnalyticU: analyticU,
+	}
+}
+
+// RandomConfig parameterizes random fork-join dags with randomly placed
+// heavy edges, used for property testing and bound experiments.
+type RandomConfig struct {
+	Seed uint64
+	// TargetVertices approximately bounds the dag size.
+	TargetVertices int
+	// PHeavy is the probability that a serial extension edge is heavy.
+	PHeavy float64
+	// MaxDelta is the maximum heavy-edge latency (inclusive); minimum 2.
+	MaxDelta int64
+	// PFork and PJoin control branching; sensible defaults are applied
+	// when zero (0.35 and 0.3).
+	PFork, PJoin float64
+}
+
+// Random builds a structurally valid random fork-join dag. The analytic U
+// is unknown (-1); use G.SuspensionWidth for the exact value.
+func Random(cfg RandomConfig) *Workload {
+	if cfg.TargetVertices < 1 {
+		panic("workload: Random requires TargetVertices >= 1")
+	}
+	if cfg.MaxDelta < 2 {
+		cfg.MaxDelta = 2
+	}
+	if cfg.PFork == 0 {
+		cfg.PFork = 0.35
+	}
+	if cfg.PJoin == 0 {
+		cfg.PJoin = 0.3
+	}
+	r := rng.New(cfg.Seed)
+	b := dag.NewBuilder()
+	root := b.Vertex("")
+	frontier := []dag.VertexID{root}
+	budget := cfg.TargetVertices
+	for len(frontier) > 0 && budget > 0 {
+		i := r.Intn(len(frontier))
+		v := frontier[i]
+		switch {
+		case len(frontier) >= 2 && r.Float64() < cfg.PJoin:
+			j := r.Intn(len(frontier) - 1)
+			if j >= i {
+				j++
+			}
+			u := frontier[j]
+			jn := b.Join(v, u)
+			nf := frontier[:0]
+			for _, w := range frontier {
+				if w != v && w != u {
+					nf = append(nf, w)
+				}
+			}
+			frontier = append(nf, jn)
+			budget--
+		case r.Float64() < cfg.PFork:
+			l, rt := b.Fork(v)
+			frontier[i] = l
+			frontier = append(frontier, rt)
+			budget -= 2
+		default:
+			w := b.Vertex("")
+			if r.Float64() < cfg.PHeavy {
+				b.Heavy(v, w, 2+int64(r.Intn(int(cfg.MaxDelta-1))))
+			} else {
+				b.Light(v, w)
+			}
+			frontier[i] = w
+			budget--
+		}
+	}
+	for len(frontier) > 1 {
+		jn := b.Join(frontier[len(frontier)-1], frontier[len(frontier)-2])
+		frontier = frontier[:len(frontier)-2]
+		frontier = append(frontier, jn)
+	}
+	return &Workload{
+		Name:      fmt.Sprintf("random(seed=%d,target=%d,pheavy=%.2f)", cfg.Seed, cfg.TargetVertices, cfg.PHeavy),
+		G:         b.MustGraph(),
+		AnalyticU: -1,
+	}
+}
+
+// Mixed builds a workload combining a latency-free batch computation with
+// a latency-bound interactive part running side by side: the root forks a
+// fib(BatchFib) dag (left) and a MapReduce of InteractiveN fetches (right).
+// It models a multicore running compute and I/O-bound applications
+// together, the motivating scenario of the paper's introduction. U equals
+// InteractiveN.
+func Mixed(batchFib, interactiveN int, delta int64) *Workload {
+	b := dag.NewBuilder()
+	root := b.Vertex("root")
+	be, bx := buildFib(b, batchFib)
+	var rec func(count int) (dag.VertexID, dag.VertexID)
+	rec = func(count int) (dag.VertexID, dag.VertexID) {
+		if count == 1 {
+			get := b.Vertex("get")
+			fe, fx := buildFib(b, 1)
+			b.Heavy(get, fe, delta)
+			return get, fx
+		}
+		half := count / 2
+		fork := b.Vertex("")
+		le, lx := rec(half)
+		re, rx := rec(count - half)
+		b.Light(fork, le)
+		b.Light(fork, re)
+		return fork, b.Join(lx, rx)
+	}
+	ie, ix := rec(interactiveN)
+	b.Light(root, be)
+	b.Light(root, ie)
+	b.Join(bx, ix)
+	return &Workload{
+		Name:      fmt.Sprintf("mixed(batchfib=%d,n=%d,delta=%d)", batchFib, interactiveN, delta),
+		G:         b.MustGraph(),
+		AnalyticU: interactiveN,
+	}
+}

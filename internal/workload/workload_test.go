@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFibVertexCount(t *testing.T) {
+	// fib dag vertex count: f(n) = f(n-1)+f(n-2)+2, f(0)=f(1)=1.
+	want := map[int]int64{0: 1, 1: 1, 2: 4, 3: 7, 4: 13, 5: 22, 10: 265}
+	for n, count := range want {
+		w := Fib(n)
+		if got := w.G.Work(); got != count {
+			t.Errorf("Fib(%d) work = %d, want %d", n, got, count)
+		}
+		if got := FibVertices(n); got != count {
+			t.Errorf("FibVertices(%d) = %d, want %d", n, got, count)
+		}
+	}
+}
+
+func TestFibNoHeavyEdges(t *testing.T) {
+	w := Fib(10)
+	if w.G.HeavyEdges() != 0 || w.AnalyticU != 0 {
+		t.Errorf("Fib has heavy edges: %d, analyticU %d", w.G.HeavyEdges(), w.AnalyticU)
+	}
+	if got := w.G.SuspensionWidth(); got != 0 {
+		t.Errorf("Fib U = %d, want 0", got)
+	}
+}
+
+func TestFibSpanLinear(t *testing.T) {
+	// fib dag span grows linearly in n (along the fib(n-1) spine: fork +
+	// recursive span + join).
+	prev := Fib(2).G.Span()
+	for n := 3; n <= 10; n++ {
+		s := Fib(n).G.Span()
+		if s != prev+2 {
+			t.Errorf("Fib(%d) span = %d, want %d", n, s, prev+2)
+		}
+		prev = s
+	}
+}
+
+func TestMapReduceStructure(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 31} {
+		w := MapReduce(MapReduceConfig{N: n, Delta: 10, FibWork: 3})
+		if err := w.G.Validate(); err != nil {
+			t.Fatalf("n=%d: invalid dag: %v", n, err)
+		}
+		if got := w.G.HeavyEdges(); got != n {
+			t.Errorf("n=%d: heavy edges = %d, want %d", n, got, n)
+		}
+		if got := w.G.SuspensionWidth(); got != n {
+			t.Errorf("n=%d: U = %d, want %d (analytic %d)", n, got, n, w.AnalyticU)
+		}
+		// Work: n leaves (get + fib dag), n-1 forks, n-1 joins.
+		want := int64(n)*(1+FibVertices(3)) + 2*int64(n-1)
+		if got := w.G.Work(); got != want {
+			t.Errorf("n=%d: work = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMapReduceSpanIncludesLatency(t *testing.T) {
+	w1 := MapReduce(MapReduceConfig{N: 8, Delta: 10, FibWork: 3})
+	w2 := MapReduce(MapReduceConfig{N: 8, Delta: 500, FibWork: 3})
+	if w2.G.Span()-w1.G.Span() != 490 {
+		t.Errorf("span should grow by delta difference: %d vs %d", w1.G.Span(), w2.G.Span())
+	}
+}
+
+func TestServerStructure(t *testing.T) {
+	for _, reqs := range []int{1, 2, 5, 20} {
+		w := Server(ServerConfig{Requests: reqs, Delta: 50, FibWork: 4})
+		if err := w.G.Validate(); err != nil {
+			t.Fatalf("req=%d: invalid dag: %v", reqs, err)
+		}
+		if got := w.G.HeavyEdges(); got != reqs {
+			t.Errorf("req=%d: heavy edges = %d, want %d", reqs, got, reqs)
+		}
+		if got := w.G.SuspensionWidth(); got != 1 {
+			t.Errorf("req=%d: U = %d, want 1", reqs, got)
+		}
+	}
+}
+
+func TestServerSpanGrowsWithRequests(t *testing.T) {
+	// Requests are serialized on the input channel, so span grows by
+	// roughly delta per request.
+	s2 := Server(ServerConfig{Requests: 2, Delta: 100, FibWork: 2}).G.Span()
+	s4 := Server(ServerConfig{Requests: 4, Delta: 100, FibWork: 2}).G.Span()
+	if s4-s2 < 200 {
+		t.Errorf("span grew by %d over 2 requests, want >= 200", s4-s2)
+	}
+}
+
+func TestPipelineStructure(t *testing.T) {
+	w := Pipeline(PipelineConfig{Items: 6, Stages: 3, StageWork: 4, Delta: 20})
+	if err := w.G.Validate(); err != nil {
+		t.Fatalf("invalid dag: %v", err)
+	}
+	// Heavy edges: items * (stages-1).
+	if got := w.G.HeavyEdges(); got != 12 {
+		t.Errorf("heavy edges = %d, want 12", got)
+	}
+	if got := w.G.SuspensionWidth(); got != 6 {
+		t.Errorf("U = %d, want 6 (one transfer in flight per item)", got)
+	}
+}
+
+func TestPipelineSingleStageHasNoLatency(t *testing.T) {
+	w := Pipeline(PipelineConfig{Items: 4, Stages: 1, StageWork: 5, Delta: 20})
+	if w.G.HeavyEdges() != 0 || w.AnalyticU != 0 {
+		t.Errorf("single-stage pipeline should have no heavy edges")
+	}
+}
+
+func TestRandomValidAndDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		w1 := Random(RandomConfig{Seed: seed, TargetVertices: 60, PHeavy: 0.3, MaxDelta: 30})
+		if err := w1.G.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid: %v", seed, err)
+		}
+		w2 := Random(RandomConfig{Seed: seed, TargetVertices: 60, PHeavy: 0.3, MaxDelta: 30})
+		if w1.G.NumVertices() != w2.G.NumVertices() || w1.G.Span() != w2.G.Span() {
+			t.Fatalf("seed %d: Random not deterministic", seed)
+		}
+	}
+}
+
+func TestRandomRespectsPHeavyZero(t *testing.T) {
+	w := Random(RandomConfig{Seed: 3, TargetVertices: 100, PHeavy: 0})
+	if w.G.HeavyEdges() != 0 {
+		t.Errorf("PHeavy=0 produced %d heavy edges", w.G.HeavyEdges())
+	}
+}
+
+func TestMixedStructure(t *testing.T) {
+	w := Mixed(8, 16, 40)
+	if err := w.G.Validate(); err != nil {
+		t.Fatalf("invalid dag: %v", err)
+	}
+	if got := w.G.SuspensionWidth(); got != 16 {
+		t.Errorf("U = %d, want 16", got)
+	}
+}
+
+func TestAnalyticUMatchesExact(t *testing.T) {
+	cases := []*Workload{
+		Fib(8),
+		MapReduce(MapReduceConfig{N: 12, Delta: 9, FibWork: 2}),
+		Server(ServerConfig{Requests: 6, Delta: 9, FibWork: 2}),
+		Pipeline(PipelineConfig{Items: 5, Stages: 2, StageWork: 3, Delta: 9}),
+		Mixed(6, 9, 9),
+	}
+	for _, w := range cases {
+		if w.AnalyticU < 0 {
+			continue
+		}
+		if got := w.G.SuspensionWidth(); got != w.AnalyticU {
+			t.Errorf("%s: exact U = %d, analytic %d", w.Name, got, w.AnalyticU)
+		}
+	}
+}
+
+func TestWorkloadNamesStable(t *testing.T) {
+	w := MapReduce(MapReduceConfig{N: 4, Delta: 10, FibWork: 2})
+	if !strings.Contains(w.Name, "mapreduce(n=4,delta=10,fib=2)") {
+		t.Errorf("unexpected name %q", w.Name)
+	}
+	if !strings.Contains(w.String(), "W=") {
+		t.Errorf("String() should include metrics: %q", w.String())
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	cases := map[string]func(){
+		"mapreduce n=0":      func() { MapReduce(MapReduceConfig{N: 0, Delta: 5, FibWork: 1}) },
+		"mapreduce delta=1":  func() { MapReduce(MapReduceConfig{N: 2, Delta: 1, FibWork: 1}) },
+		"server req=0":       func() { Server(ServerConfig{Requests: 0, Delta: 5}) },
+		"server delta light": func() { Server(ServerConfig{Requests: 2, Delta: 1}) },
+		"pipeline items=0":   func() { Pipeline(PipelineConfig{Items: 0, Stages: 1, StageWork: 1, Delta: 5}) },
+		"random target=0":    func() { Random(RandomConfig{TargetVertices: 0}) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// Property: random workloads always satisfy the §2 structural assumptions.
+func TestRandomStructuralProperty(t *testing.T) {
+	fn := func(seed uint64, size uint8, pHeavyRaw uint8) bool {
+		cfg := RandomConfig{
+			Seed:           seed,
+			TargetVertices: 1 + int(size)%200,
+			PHeavy:         float64(pHeavyRaw) / 255,
+			MaxDelta:       50,
+		}
+		return Random(cfg).G.Validate() == nil
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMapReduceBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MapReduce(MapReduceConfig{N: 1000, Delta: 100, FibWork: 5})
+	}
+}

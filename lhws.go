@@ -1,0 +1,195 @@
+// Package lhws is a Go implementation of latency-hiding work stealing
+// (Muller & Acar, "Latency-Hiding Work Stealing", SPAA 2016): a scheduler
+// for parallel computations whose threads may suspend on latency-incurring
+// operations — I/O, remote procedure calls, user input — without blocking
+// the worker executing them.
+//
+// The module has two halves, both re-exported here:
+//
+//   - A deterministic simulator of the paper's round-based cost model.
+//     Computations are weighted dags (NewDAGBuilder / the Workload
+//     generators); RunLHWS, RunWS and RunGreedy execute them on P virtual
+//     workers and report rounds, steals, deque counts, and the other
+//     quantities the paper's analysis bounds.
+//
+//   - A real task runtime (NewRuntimeConfig / RunTasks) executing Go code
+//     over worker goroutines with wall-clock latencies, in latency-hiding
+//     or blocking mode.
+//
+// See the examples directory for runnable entry points, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the reproduction of the paper's
+// evaluation.
+package lhws
+
+import (
+	"lhws/internal/dag"
+	"lhws/internal/experiments"
+	"lhws/internal/runtime"
+	"lhws/internal/sched"
+	"lhws/internal/workload"
+)
+
+// Weighted-dag model (paper §2).
+type (
+	// Graph is an immutable weighted computation dag.
+	Graph = dag.Graph
+	// DAGBuilder incrementally constructs a Graph.
+	DAGBuilder = dag.Builder
+	// VertexID identifies a vertex within a Graph.
+	VertexID = dag.VertexID
+	// OutEdge is a directed, latency-weighted edge.
+	OutEdge = dag.OutEdge
+)
+
+// NoVertex is the sentinel for "no vertex".
+const NoVertex = dag.None
+
+// NewDAGBuilder returns an empty dag builder.
+func NewDAGBuilder() *DAGBuilder { return dag.NewBuilder() }
+
+// Sequence composes two dags serially; weight > 1 models a
+// latency-incurring handoff between them.
+func Sequence(g1, g2 *Graph, weight int64) *Graph { return dag.Sequence(g1, g2, weight) }
+
+// ParallelDAGs composes dags under a fork tree with a matching join tree.
+func ParallelDAGs(gs ...*Graph) *Graph { return dag.ParallelAll(gs...) }
+
+// WithEntryLatency prefixes a dag with a latency-incurring fetch vertex.
+func WithEntryLatency(g *Graph, label string, delta int64) *Graph {
+	return dag.WithEntryLatency(g, label, delta)
+}
+
+// Simulated schedulers (paper §3).
+type (
+	// SchedOptions configures a simulated execution.
+	SchedOptions = sched.Options
+	// SchedResult is the outcome of a simulated execution.
+	SchedResult = sched.Result
+	// SchedStats aggregates counters from one simulated execution.
+	SchedStats = sched.Stats
+	// StealPolicy selects the steal-victim policy.
+	StealPolicy = sched.StealPolicy
+)
+
+// Steal policies for RunLHWS.
+const (
+	// StealRandomDeque is the paper's analyzed policy (§3).
+	StealRandomDeque = sched.StealRandomDeque
+	// StealWorkerThenDeque is the implementation policy (§6).
+	StealWorkerThenDeque = sched.StealWorkerThenDeque
+)
+
+// RunLHWS executes a weighted dag with the latency-hiding work-stealing
+// scheduler of the paper's Figure 3 on opt.Workers simulated workers.
+func RunLHWS(g *Graph, opt SchedOptions) (*SchedResult, error) { return sched.RunLHWS(g, opt) }
+
+// RunWS executes a weighted dag with standard (blocking) work stealing —
+// the baseline of the paper's evaluation.
+func RunWS(g *Graph, opt SchedOptions) (*SchedResult, error) { return sched.RunWS(g, opt) }
+
+// RunGreedy executes a weighted dag with an offline greedy schedule,
+// achieving the Theorem-1 bound of W/P + S rounds.
+func RunGreedy(g *Graph, workers int) (*SchedResult, error) { return sched.RunGreedy(g, workers) }
+
+// GreedyBound returns the Theorem-1 bound W/P + S.
+func GreedyBound(g *Graph, workers int) int64 { return sched.GreedyBound(g, workers) }
+
+// Workload generators (paper §5 and §6.1).
+type (
+	// Workload is a generated computation dag plus provenance.
+	Workload = workload.Workload
+	// MapReduceConfig parameterizes the distributed map-reduce of §5.
+	MapReduceConfig = workload.MapReduceConfig
+	// ServerConfig parameterizes the server example of §5.
+	ServerConfig = workload.ServerConfig
+	// PipelineConfig parameterizes the streaming-pipeline workload.
+	PipelineConfig = workload.PipelineConfig
+	// RandomConfig parameterizes random fork-join dags.
+	RandomConfig = workload.RandomConfig
+)
+
+// MapReduce builds the §5 distributed map-reduce workload (U = n).
+func MapReduce(cfg MapReduceConfig) *Workload { return workload.MapReduce(cfg) }
+
+// Server builds the §5 server workload (U = 1).
+func Server(cfg ServerConfig) *Workload { return workload.Server(cfg) }
+
+// Fib builds the latency-free parallel Fibonacci workload (U = 0).
+func Fib(n int) *Workload { return workload.Fib(n) }
+
+// Pipeline builds a streaming-pipeline workload.
+func Pipeline(cfg PipelineConfig) *Workload { return workload.Pipeline(cfg) }
+
+// RandomDAG builds a structurally valid random fork-join dag.
+func RandomDAG(cfg RandomConfig) *Workload { return workload.Random(cfg) }
+
+// Real task runtime (paper §6).
+type (
+	// RuntimeConfig configures the goroutine-backed task runtime.
+	RuntimeConfig = runtime.Config
+	// RuntimeStats reports counters from a runtime execution.
+	RuntimeStats = runtime.Stats
+	// RuntimeMode selects latency-hiding or blocking scheduling.
+	RuntimeMode = runtime.Mode
+	// Ctx is a task's handle to the runtime.
+	Ctx = runtime.Ctx
+	// Future is the completion handle of a spawned task.
+	Future = runtime.Future
+)
+
+// Value is a Future carrying a typed result; create one with SpawnValue.
+type Value[T any] = runtime.Value[T]
+
+// Chan is a task-level message channel whose blocking operations suspend
+// the task (latency-hiding mode) instead of the worker.
+type Chan[T any] = runtime.Chan[T]
+
+// NewChan returns a channel with the given capacity; capacity < 1 means
+// unbounded.
+func NewChan[T any](capacity int) *Chan[T] { return runtime.NewChan[T](capacity) }
+
+// For executes body(i) for i in [lo, hi) with fork-join parallelism at the
+// given grain; bodies may suspend.
+func For(c *Ctx, lo, hi, grain int, body func(*Ctx, int)) {
+	runtime.For(c, lo, hi, grain, body)
+}
+
+// ParallelMapReduce applies mapper to [lo, hi) in parallel and folds the
+// results left-to-right with the associative reduce — the §5 distributed
+// map-reduce as a library primitive.
+func ParallelMapReduce[T any](c *Ctx, lo, hi int, id T, mapper func(*Ctx, int) T, reduce func(T, T) T) T {
+	return runtime.MapReduce(c, lo, hi, id, mapper, reduce)
+}
+
+// Runtime modes.
+const (
+	// LatencyHiding runs the LHWS algorithm on the real runtime.
+	LatencyHiding = runtime.LatencyHiding
+	// Blocking runs standard blocking work stealing.
+	Blocking = runtime.Blocking
+)
+
+// RunTasks executes root (and everything it spawns) on a fresh worker pool.
+func RunTasks(cfg RuntimeConfig, root func(*Ctx)) (*RuntimeStats, error) {
+	return runtime.Run(cfg, root)
+}
+
+// SpawnValue spawns f as a child task returning a typed result handle.
+func SpawnValue[T any](c *Ctx, f func(*Ctx) T) *runtime.Value[T] {
+	return runtime.SpawnValue(c, f)
+}
+
+// Experiment drivers reproducing the paper's evaluation; see EXPERIMENTS.md.
+type (
+	// Fig11Config parameterizes one panel of Figure 11.
+	Fig11Config = experiments.Fig11Config
+	// Fig11Result is one reproduced panel of Figure 11.
+	Fig11Result = experiments.Fig11Result
+)
+
+// Fig11 reproduces one panel of the paper's Figure 11 in the simulator.
+func Fig11(cfg Fig11Config) (*Fig11Result, error) { return experiments.Fig11(cfg) }
+
+// ScaledFig11 returns the laptop-scale Figure 11 configuration for the
+// given panel latency in milliseconds (500, 50, or 1 in the paper).
+func ScaledFig11(deltaMS float64) Fig11Config { return experiments.ScaledFig11(deltaMS) }

@@ -1,0 +1,208 @@
+package lhws_test
+
+import (
+	"os"
+	goruntime "runtime"
+	"testing"
+	"time"
+
+	"lhws"
+)
+
+func TestMain(m *testing.M) {
+	if goruntime.GOMAXPROCS(0) < 4 {
+		goruntime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}
+
+// buildFigure1 builds the paper's Figure-1 dag through the public facade.
+func buildFigure1(delta int64) *lhws.Graph {
+	b := lhws.NewDAGBuilder()
+	fork := b.Vertex("fork")
+	mul := b.Vertex("mul")
+	input := b.Vertex("input")
+	double := b.Vertex("double")
+	add := b.Vertex("add")
+	b.Light(fork, mul)
+	b.Light(fork, input)
+	b.Heavy(input, double, delta)
+	b.Light(mul, add)
+	b.Light(double, add)
+	return b.MustGraph()
+}
+
+func TestPublicDAGMetrics(t *testing.T) {
+	g := buildFigure1(10)
+	if g.Work() != 5 || g.Span() != 13 || g.SuspensionWidth() != 1 {
+		t.Fatalf("metrics: W=%d S=%d U=%d", g.Work(), g.Span(), g.SuspensionWidth())
+	}
+}
+
+func TestPublicSchedulers(t *testing.T) {
+	g := buildFigure1(10)
+	lh, err := lhws.RunLHWS(g, lhws.SchedOptions{Workers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := lhws.RunWS(g, lhws.SchedOptions{Workers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := lhws.RunGreedy(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]*lhws.SchedResult{"lhws": lh, "ws": ws, "greedy": gr} {
+		if r.Stats.UserWork != g.Work() {
+			t.Errorf("%s: executed %d of %d vertices", name, r.Stats.UserWork, g.Work())
+		}
+	}
+	if gr.Stats.Rounds > lhws.GreedyBound(g, 2) {
+		t.Errorf("greedy exceeded Theorem-1 bound")
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	cases := []*lhws.Workload{
+		lhws.MapReduce(lhws.MapReduceConfig{N: 8, Delta: 10, FibWork: 3}),
+		lhws.Server(lhws.ServerConfig{Requests: 4, Delta: 10, FibWork: 3}),
+		lhws.Fib(8),
+		lhws.Pipeline(lhws.PipelineConfig{Items: 3, Stages: 2, StageWork: 2, Delta: 5}),
+		lhws.RandomDAG(lhws.RandomConfig{Seed: 1, TargetVertices: 40, PHeavy: 0.3, MaxDelta: 9}),
+	}
+	for _, w := range cases {
+		if err := w.G.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if _, err := lhws.RunLHWS(w.G, lhws.SchedOptions{Workers: 3, Seed: 2}); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestPublicStealPolicies(t *testing.T) {
+	g := lhws.MapReduce(lhws.MapReduceConfig{N: 16, Delta: 20, FibWork: 3}).G
+	for _, p := range []lhws.StealPolicy{lhws.StealRandomDeque, lhws.StealWorkerThenDeque} {
+		if _, err := lhws.RunLHWS(g, lhws.SchedOptions{Workers: 4, Seed: 3, Policy: p}); err != nil {
+			t.Errorf("policy %v: %v", p, err)
+		}
+	}
+}
+
+func TestPublicRuntime(t *testing.T) {
+	for _, mode := range []lhws.RuntimeMode{lhws.LatencyHiding, lhws.Blocking} {
+		var sum int64
+		st, err := lhws.RunTasks(lhws.RuntimeConfig{Workers: 2, Mode: mode}, func(c *lhws.Ctx) {
+			v := lhws.SpawnValue(c, func(cc *lhws.Ctx) int64 {
+				cc.Latency(time.Millisecond)
+				return 21
+			})
+			sum = 21 + v.Await(c)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != 42 {
+			t.Fatalf("%v: sum = %d", mode, sum)
+		}
+		if st.TasksSpawned != 2 {
+			t.Errorf("%v: spawned %d tasks, want 2", mode, st.TasksSpawned)
+		}
+	}
+}
+
+func TestPublicChan(t *testing.T) {
+	var got []int
+	_, err := lhws.RunTasks(lhws.RuntimeConfig{Workers: 2, Mode: lhws.LatencyHiding}, func(c *lhws.Ctx) {
+		ch := lhws.NewChan[int](4)
+		f := c.Spawn(func(cc *lhws.Ctx) {
+			for i := 0; i < 10; i++ {
+				ch.Send(cc, i)
+			}
+		})
+		for i := 0; i < 10; i++ {
+			got = append(got, ch.Recv(c))
+		}
+		f.Await(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestPublicFig11Driver(t *testing.T) {
+	cfg := lhws.Fig11Config{N: 32, FibWork: 4, DeltaMS: 500, Workers: []int{1, 4}, Seed: 1}
+	r, err := lhws.Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	if r.Points[1].RoundsRatio <= 1 {
+		t.Errorf("LHWS not ahead at δ=500ms: ratio %.2f", r.Points[1].RoundsRatio)
+	}
+	scaled := lhws.ScaledFig11(50)
+	if scaled.N == 0 || scaled.DeltaMS != 50 {
+		t.Errorf("ScaledFig11 misconfigured: %+v", scaled)
+	}
+}
+
+func TestPublicVariantsExposed(t *testing.T) {
+	g := lhws.Server(lhws.ServerConfig{Requests: 5, Delta: 10, FibWork: 2}).G
+	if _, err := lhws.RunLHWS(g, lhws.SchedOptions{Workers: 2, Seed: 1, CheckInvariants: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicDAGCombinators(t *testing.T) {
+	b1 := lhws.NewDAGBuilder()
+	b1.Vertex("a")
+	g1 := b1.MustGraph()
+	b2 := lhws.NewDAGBuilder()
+	b2.Vertex("b")
+	g2 := b2.MustGraph()
+
+	seq := lhws.Sequence(g1, g2, 5)
+	if seq.Work() != 2 || seq.Span() != 6 || seq.SuspensionWidth() != 1 {
+		t.Fatalf("Sequence: W=%d S=%d U=%d", seq.Work(), seq.Span(), seq.SuspensionWidth())
+	}
+	par := lhws.ParallelDAGs(g1, g2, seq)
+	if err := par.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The entry fetch completes before anything inside par can run, so its
+	// heavy edge never overlaps seq's: U stays 1.
+	fetch := lhws.WithEntryLatency(par, "get", 9)
+	if fetch.Label(fetch.Root()) != "get" || fetch.SuspensionWidth() != 1 {
+		t.Fatalf("WithEntryLatency: label=%q U=%d", fetch.Label(fetch.Root()), fetch.SuspensionWidth())
+	}
+	if _, err := lhws.RunLHWS(fetch, lhws.SchedOptions{Workers: 2, Seed: 1, CheckInvariants: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicParallelFor(t *testing.T) {
+	var sum int64
+	_, err := lhws.RunTasks(lhws.RuntimeConfig{Workers: 2, Mode: lhws.LatencyHiding}, func(c *lhws.Ctx) {
+		var acc [32]int64
+		lhws.For(c, 0, 32, 4, func(cc *lhws.Ctx, i int) {
+			acc[i] = int64(i)
+		})
+		for _, v := range acc {
+			sum += v
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 496 {
+		t.Fatalf("sum = %d, want 496", sum)
+	}
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Reproduce the full evaluation: build, test, run every experiment with its
+# shape check, regenerate the Figure-11 SVGs, and run the benchmark suite.
+# Artifacts land in the repository root (test_output.txt, bench_output.txt)
+# and figures/.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build + vet =="
+go build ./...
+go vet ./...
+
+echo "== tests =="
+go test ./... 2>&1 | tee test_output.txt
+
+echo "== experiments (laptop scale) =="
+go run ./cmd/lhws-bench -exp all
+
+echo "== Figure 11 at paper scale (n=5000) + SVG figures =="
+go run ./cmd/lhws-bench -exp fig11 -full -svg figures
+
+echo "== benchmarks =="
+go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+echo "reproduction complete"
