@@ -1,0 +1,42 @@
+GO ?= go
+
+# Core packages whose hot paths the race/vet gates guard.
+CORE := ./internal/deque/... ./internal/runtime/... ./internal/sched/...
+
+.PHONY: all build test race vet lint ci figures clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector sweep. The full ./... sweep is the CI gate; the CORE subset
+# is the quick local loop.
+race:
+	$(GO) test -race -count=1 ./...
+
+race-core:
+	$(GO) test -race -count=1 $(CORE)
+
+# vet runs go vet plus the scheduler-aware analyzers in cmd/lhws-vet
+# (dequeowner, noblock, atomicpair, rngplumb — see DESIGN.md §6).
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/lhws-vet ./...
+
+# lint is the formatting gate: fails if any file needs gofmt.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# ci mirrors .github/workflows/ci.yml.
+ci: build lint vet test race
+
+figures:
+	$(GO) run ./cmd/lhws-bench -exp fig11 -svg figures
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,29 @@
+// Command lhws-vet runs this repository's scheduler-aware static
+// analyzers over the named packages (default ./...):
+//
+//	dequeowner  owner-only deque operations confined to declared owners
+//	noblock     no blocking operations in //lhws:nonblocking hot paths
+//	atomicpair  no mixed sync/atomic and plain access to one variable
+//	rngplumb    no math/rand global state outside internal/rng
+//
+// Exit status is 0 when clean, 1 when any analyzer reported a
+// diagnostic, and 2 on usage or load errors, so CI can gate on it the
+// same way it gates on go vet.
+package main
+
+import (
+	"lhws/internal/analysis/atomicpair"
+	"lhws/internal/analysis/dequeowner"
+	"lhws/internal/analysis/multichecker"
+	"lhws/internal/analysis/noblock"
+	"lhws/internal/analysis/rngplumb"
+)
+
+func main() {
+	multichecker.Main(
+		dequeowner.Analyzer,
+		noblock.Analyzer,
+		atomicpair.Analyzer,
+		rngplumb.Analyzer,
+	)
+}

@@ -1,3 +1,10 @@
 module lhws
 
 go 1.24
+
+// No requirements, deliberately: the module is stdlib-only so the full
+// build/test/vet pipeline runs offline. In particular, internal/analysis
+// implements its own loader (go list -export + the gc export-data
+// importer) and analysistest harness instead of depending on
+// golang.org/x/tools/go/analysis, whose API it mirrors; if this module
+// ever grows a vendored toolchain, the analyzers port over directly.

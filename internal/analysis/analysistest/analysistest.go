@@ -1,0 +1,161 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against expectations written in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// standard library only.
+//
+// Fixtures live under <testdata>/src/<pkg>/ and are loaded in GOPATH
+// mode (GOPATH=<testdata>, modules off), so fixture packages can fake
+// any import path — including this module's own paths such as
+// lhws/internal/deque — without touching the real module. A line that
+// should be flagged carries a trailing expectation comment:
+//
+//	d.q.PopBottom() // want `owner-only`
+//
+// The argument is a regular expression that must match the diagnostic's
+// message; multiple expectations may follow one want. A fixture package
+// with no want comments asserts the analyzer stays silent on it.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lhws/internal/analysis"
+	"lhws/internal/analysis/load"
+)
+
+// TestData returns the absolute path of the ./testdata directory next
+// to the calling test.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "src")); err != nil {
+		t.Fatalf("analysistest: missing fixture tree: %v", err)
+	}
+	return dir
+}
+
+// Run applies the analyzer to each fixture package and reports
+// unexpected diagnostics and unmatched expectations through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	env := append(os.Environ(),
+		"GO111MODULE=off",
+		"GOPATH="+testdata,
+		"GOFLAGS=",
+	)
+	pkgs, err := load.Load(load.Config{Dir: testdata, Env: env}, pkgPaths...)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			t.Errorf("analysistest: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			continue
+		}
+		check(t, pkg, diags)
+	}
+}
+
+// expectation is one parsed want argument.
+type expectation struct {
+	re      *regexp.Regexp
+	pos     token.Position // of the want comment, for failure messages
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+func check(t *testing.T, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	// file -> line -> expectations
+	wants := make(map[string]map[int][]*expectation)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				parseWants(t, pkg.Fset, c, wants)
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		var match *expectation
+		for _, exp := range wants[pos.Filename][pos.Line] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				match = exp
+				break
+			}
+		}
+		if match == nil {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+			continue
+		}
+		match.matched = true
+	}
+	for _, byLine := range wants {
+		for _, exps := range byLine {
+			for _, exp := range exps {
+				if !exp.matched {
+					t.Errorf("%s: no diagnostic matched expectation %q", exp.pos, exp.re)
+				}
+			}
+		}
+	}
+}
+
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment, wants map[string]map[int][]*expectation) {
+	t.Helper()
+	// A want marker may be the whole comment (`// want "re"`) or ride at
+	// the end of a directive comment (`//lhws:owner // want "re"`).
+	idx := strings.Index(c.Text, "// want ")
+	if idx < 0 {
+		return
+	}
+	text := c.Text[idx+len("// want "):]
+	pos := fset.Position(c.Pos())
+	args := wantRE.FindAllStringSubmatch(text, -1)
+	if len(args) == 0 {
+		t.Errorf("%s: malformed want comment: %s", pos, c.Text)
+		return
+	}
+	for _, m := range args {
+		pattern := m[2] // backquoted form
+		if m[1] != "" || m[2] == "" {
+			unq, err := strconv.Unquote(`"` + m[1] + `"`)
+			if err != nil {
+				t.Errorf("%s: bad want pattern %q: %v", pos, m[1], err)
+				continue
+			}
+			pattern = unq
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			t.Errorf("%s: bad want regexp %q: %v", pos, pattern, err)
+			continue
+		}
+		byLine := wants[pos.Filename]
+		if byLine == nil {
+			byLine = make(map[int][]*expectation)
+			wants[pos.Filename] = byLine
+		}
+		byLine[pos.Line] = append(byLine[pos.Line], &expectation{re: re, pos: pos})
+	}
+}

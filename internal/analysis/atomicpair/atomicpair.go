@@ -1,0 +1,135 @@
+// Package atomicpair flags mixed atomic and plain access to the same
+// variable — the classic data race go vet does not diagnose.
+//
+// If any access to a variable goes through sync/atomic, every access
+// must: a plain read racing an atomic.Store (or a plain write racing an
+// atomic.Load) is undefined under the Go memory model, and in this
+// codebase such fields are exactly the ones thieves and owners share
+// (deque tops and bottoms, suspension counters, stats). The sync/atomic
+// wrapper types (atomic.Int64 and friends) make mixed access
+// inexpressible and are the preferred fix; this analyzer exists for the
+// transitional pattern where a plain field is touched through the
+// sync/atomic functions.
+//
+// Within one package, the analyzer records every variable or struct
+// field whose address is taken directly in an argument to a sync/atomic
+// function, then flags every other syntactic use of that variable —
+// plain reads, plain writes, and aliasing through &x — since an alias
+// escapes the analyzer's sight. A deliberate exception (e.g. a plain
+// read inside a single-threaded constructor) is acknowledged with a
+// statement-level //lhws:nonatomic directive carrying a justification.
+package atomicpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lhws/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicpair",
+	Doc:  "check for non-atomic access to variables that are elsewhere accessed via sync/atomic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find objects whose address feeds a sync/atomic call, and
+	// remember the idents of those sanctioned accesses.
+	atomicObjs := make(map[types.Object]token.Pos) // object -> first atomic site
+	sanctioned := make(map[*ast.Ident]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || fn.Signature().Recv() != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				id := baseIdent(unary.X)
+				if id == nil {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil {
+					continue
+				}
+				if v, ok := obj.(*types.Var); ok {
+					if _, seen := atomicObjs[v]; !seen {
+						atomicObjs[v] = call.Pos()
+					}
+					sanctioned[id] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other use of those objects is a mixed access.
+	for _, file := range pass.Files {
+		var skipKeys map[*ast.Ident]bool
+		ast.Inspect(file, func(n ast.Node) bool {
+			// Field names used as composite-literal keys resolve to the
+			// field object but are initialization, not access.
+			if lit, ok := n.(*ast.CompositeLit); ok {
+				for _, elt := range lit.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							if skipKeys == nil {
+								skipKeys = make(map[*ast.Ident]bool)
+							}
+							skipKeys[key] = true
+						}
+					}
+				}
+				return true
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] || skipKeys[id] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			site, mixed := atomicObjs[obj]
+			if !mixed {
+				return true
+			}
+			if pass.Suppressed(id.Pos(), "nonatomic") {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"non-atomic access to %s, which is accessed via sync/atomic at %s; mixed access races",
+				obj.Name(), pass.Fset.Position(site))
+			return true
+		})
+	}
+	return nil
+}
+
+// baseIdent returns the identifier naming the variable or field in an
+// address-of operand: x in &x, the field ident in &s.f (however deep
+// the selector chain).
+func baseIdent(expr ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	case *ast.IndexExpr:
+		return baseIdent(e.X)
+	}
+	return nil
+}

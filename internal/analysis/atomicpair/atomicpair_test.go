@@ -1,0 +1,13 @@
+package atomicpair_test
+
+import (
+	"testing"
+
+	"lhws/internal/analysis/analysistest"
+	"lhws/internal/analysis/atomicpair"
+)
+
+func TestAtomicPair(t *testing.T) {
+	td := analysistest.TestData(t)
+	analysistest.Run(t, td, atomicpair.Analyzer, "a", "b")
+}

@@ -1,0 +1,51 @@
+// Package a exercises the positive cases of the atomicpair analyzer.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	name string
+}
+
+// bump establishes that n is an atomically-accessed field.
+func bump(c *counter) {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func read(c *counter) int64 {
+	return c.n // want `non-atomic access to n`
+}
+
+func write(c *counter) {
+	c.n = 0 // want `non-atomic access to n`
+}
+
+func alias(c *counter) *int64 {
+	return &c.n // want `non-atomic access to n`
+}
+
+// label touches only the plain field; no finding.
+func label(c *counter) string {
+	return c.name
+}
+
+// construct initializes via a composite-literal key, which is not an
+// access.
+func construct() *counter {
+	return &counter{n: 0, name: "x"}
+}
+
+var hits int64
+
+func recordHit()      { atomic.AddInt64(&hits, 1) }
+func loadHits() int64 { return atomic.LoadInt64(&hits) }
+func peek() int64 {
+	return hits // want `non-atomic access to hits`
+}
+
+// reset runs before any worker goroutine starts, so the plain store is
+// justified.
+func reset(c *counter) {
+	c.n = 0 //lhws:nonatomic runs before the worker pool starts, no concurrent access yet
+}

@@ -1,0 +1,25 @@
+// Package b is the clean fixture: counters are either consistently
+// atomic or consistently plain, and the wrapper types make mixed
+// access inexpressible.
+package b
+
+import "sync/atomic"
+
+type stats struct {
+	steals   atomic.Int64 // wrapper type: the preferred pattern
+	rounds   int64        // plain, single-threaded
+	attempts int64        // raw field, but every access is atomic
+}
+
+func record(s *stats) {
+	s.steals.Add(1)
+	atomic.AddInt64(&s.attempts, 1)
+}
+
+func snapshot(s *stats) (int64, int64) {
+	return s.steals.Load(), atomic.LoadInt64(&s.attempts)
+}
+
+func tick(s *stats) {
+	s.rounds++
+}

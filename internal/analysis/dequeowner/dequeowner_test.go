@@ -1,0 +1,13 @@
+package dequeowner_test
+
+import (
+	"testing"
+
+	"lhws/internal/analysis/analysistest"
+	"lhws/internal/analysis/dequeowner"
+)
+
+func TestDequeOwner(t *testing.T) {
+	td := analysistest.TestData(t)
+	analysistest.Run(t, td, dequeowner.Analyzer, "lhws/a", "lhws/b", "lhws/internal/deque")
+}

@@ -1,0 +1,27 @@
+// Package a exercises the positive cases of the dequeowner analyzer.
+package a
+
+import "lhws/internal/deque"
+
+// plain holds no owner declaration, so owner-only calls are flagged;
+// the thief-side PopTop is always allowed.
+func plain(d *deque.ChaseLev) {
+	d.PushBottom(nil) // want `owner-only deque method PushBottom`
+	d.PopBottom()     // want `owner-only deque method PopBottom`
+	d.PopTop()
+}
+
+// spawned goroutines never hold the owner role, even inside a function
+// that declares it.
+//
+//lhws:owner called only from the worker loop in this fixture
+func spawns(d *deque.ChaseLev) {
+	d.PushBottom(nil)
+	go func() {
+		d.PopBottom() // want `goroutine spawned here`
+	}()
+}
+
+func bare(d *deque.ChaseLev) {
+	d.PushBottom(nil) //lhws:owner // want `needs a justification`
+}

@@ -1,0 +1,30 @@
+// Package b is the clean fixture: every owner-only operation declares
+// why its caller holds the owner role.
+package b
+
+import "lhws/internal/deque"
+
+// run is the fixture's worker loop.
+//
+//lhws:owner the worker loop goroutine is the unique deque owner
+func run(d *deque.ChaseLev) {
+	for {
+		it, ok := d.PopBottom()
+		if !ok {
+			return
+		}
+		_ = it
+	}
+}
+
+// enqueue pushes work on behalf of the owner.
+//
+//lhws:owner tasks run holding their worker's owner role between resume and report
+func enqueue(d *deque.ChaseLev, it deque.Item) {
+	d.PushBottom(it)
+}
+
+// steal is thief-side only and needs no declaration.
+func steal(d *deque.ChaseLev) (deque.Item, bool) {
+	return d.PopTop()
+}

@@ -1,0 +1,49 @@
+// Package deque is a fixture standing in for the real
+// lhws/internal/deque: same import path (via the GOPATH fixture tree),
+// same guarded method and field names, no dependencies.
+package deque
+
+type Item interface{}
+
+type ChaseLev struct {
+	top    int64
+	bottom int64
+	array  []Item
+}
+
+// NewChaseLev is a constructor: touching the ordering fields here is
+// allowed because the deque is not yet shared.
+func NewChaseLev() *ChaseLev {
+	d := &ChaseLev{}
+	d.array = make([]Item, 0, 8)
+	return d
+}
+
+// Methods of the declaring type may access the ordering fields.
+func (d *ChaseLev) PushBottom(it Item) {
+	d.array = append(d.array, it)
+	d.bottom++
+}
+
+func (d *ChaseLev) PopBottom() (Item, bool) {
+	if d.bottom == d.top {
+		return nil, false
+	}
+	d.bottom--
+	return d.array[d.bottom-d.top], true
+}
+
+func (d *ChaseLev) PopTop() (Item, bool) {
+	if d.bottom == d.top {
+		return nil, false
+	}
+	d.top++
+	return d.array[0], true
+}
+
+// reset is a rogue in-package helper: it manipulates the ordering
+// fields without going through the publication protocol.
+func reset(d *ChaseLev) {
+	d.top = 0    // want `direct access to deque ordering field ChaseLev\.top`
+	d.bottom = 0 // want `direct access to deque ordering field ChaseLev\.bottom`
+}

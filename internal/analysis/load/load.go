@@ -1,0 +1,198 @@
+// Package load turns package patterns into parsed, type-checked
+// packages for the analyzers, using only the standard library and the
+// go command.
+//
+// The conventional loader for analysis tools is
+// golang.org/x/tools/go/packages; this repository must also build in
+// hermetic environments where module downloads are impossible, so load
+// reimplements the narrow slice the analyzers need: it shells out to
+// `go list -export -json -deps`, which compiles every dependency and
+// reports the path of each package's export data, then type-checks the
+// target packages from source with an importer that reads dependency
+// types from that export data. This is the same division of labour
+// go/packages uses in its default (export) mode.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	goruntime "runtime"
+	"strings"
+)
+
+// A Package is one type-checked target package.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Dir       string
+	GoFiles   []string // absolute paths of the parsed files
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Config parameterizes a load.
+type Config struct {
+	// Dir is the working directory for the go command ("" = cwd).
+	Dir string
+	// Env, when non-nil, replaces the go command's environment. The
+	// analysistest harness uses this to load GOPATH-mode fixtures.
+	Env []string
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Imports    []string
+	ImportMap  map[string]string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses, and type-checks the packages matching patterns.
+// Packages named by the patterns are returned; their dependencies are
+// consumed only as export data.
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	listed, err := goList(cfg, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for every dependency, keyed by resolved import path.
+	exports := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := typecheck(fset, lp, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("load: no packages matched %v", patterns)
+	}
+	return pkgs, nil
+}
+
+func goList(cfg Config, patterns []string) ([]*listPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Imports,ImportMap,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	cmd.Env = cfg.Env
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("load: starting go list: %v", err)
+	}
+	var listed []*listPackage
+	dec := json.NewDecoder(out)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return listed, nil
+}
+
+// typecheck parses a target package's files and type-checks them,
+// resolving imports through compiled export data.
+func typecheck(fset *token.FileSet, lp *listPackage, exports map[string]string) (*Package, error) {
+	pkg := &Package{
+		PkgPath: lp.ImportPath,
+		Name:    lp.Name,
+		Dir:     lp.Dir,
+		Fset:    fset,
+	}
+	for _, f := range lp.GoFiles {
+		path := f
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, f)
+		}
+		syntax, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		pkg.GoFiles = append(pkg.GoFiles, path)
+		pkg.Syntax = append(pkg.Syntax, syntax)
+	}
+
+	// The importer maps source-level import paths through the package's
+	// ImportMap (vendoring, test shadowing) and then reads the compiled
+	// export data `go list -export` produced.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", goruntime.GOARCH),
+	}
+	pkg.TypesInfo = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, pkg.Syntax, pkg.TypesInfo)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

@@ -1,0 +1,75 @@
+// Package multichecker composes analyzers into a vet-style command.
+//
+// It is the stdlib-only counterpart of
+// golang.org/x/tools/go/analysis/multichecker: the driver loads the
+// packages named on the command line, applies every analyzer to every
+// package, prints diagnostics in file:line:col order, and exits
+// non-zero when anything was flagged — which is what lets CI gate on
+// the suite.
+package multichecker
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"lhws/internal/analysis"
+	"lhws/internal/analysis/load"
+)
+
+// Main runs the analyzers over the packages named by os.Args and exits
+// with 0 (clean), 1 (diagnostics reported), or 2 (usage or load error).
+func Main(analyzers ...*analysis.Analyzer) {
+	os.Exit(Run(os.Stdout, os.Args[1:], analyzers))
+}
+
+// Run is Main with injectable output and arguments, for testing.
+func Run(w io.Writer, args []string, analyzers []*analysis.Analyzer) int {
+	if len(args) > 0 && (args[0] == "-h" || args[0] == "-help" || args[0] == "--help") {
+		printUsage(w, analyzers)
+		return 2
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(load.Config{}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: analyzer %s: %v\n", pkg.PkgPath, a.Name, err)
+				return 2
+			}
+		}
+		analysis.SortDiagnostics(pkg.Fset, diags)
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		total += len(diags)
+	}
+	if total > 0 {
+		return 1
+	}
+	return 0
+}
+
+func printUsage(w io.Writer, analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(w, "usage: lhws-vet [packages]\n\nRegistered analyzers:\n\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(w, "  %s: %s\n", a.Name, a.Doc)
+	}
+}

@@ -1,0 +1,46 @@
+package multichecker_test
+
+import (
+	"bytes"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"lhws/internal/analysis"
+	"lhws/internal/analysis/multichecker"
+)
+
+// TestModuleModeLoadAndReport drives the driver end-to-end in module
+// mode against this very package, with a toy analyzer that flags every
+// function named exactly "main" — exercising go list, export-data
+// import, type-checking, diagnostic ordering, and exit codes.
+func TestModuleModeLoadAndReport(t *testing.T) {
+	toy := &analysis.Analyzer{
+		Name: "toy",
+		Doc:  "flags functions named main",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "main" && fd.Recv == nil {
+						pass.Reportf(fd.Pos(), "found main in %s", pass.Pkg.Path())
+					}
+				}
+			}
+			return nil
+		},
+	}
+
+	var out bytes.Buffer
+	if code := multichecker.Run(&out, []string{"lhws/internal/analysis"}, []*analysis.Analyzer{toy}); code != 0 {
+		t.Fatalf("clean package: exit %d, output:\n%s", code, out.String())
+	}
+
+	out.Reset()
+	code := multichecker.Run(&out, []string{"lhws/cmd/lhws-vet"}, []*analysis.Analyzer{toy})
+	if code != 1 {
+		t.Fatalf("flagged package: exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "found main in lhws/cmd/lhws-vet (toy)") {
+		t.Fatalf("missing diagnostic, got:\n%s", out.String())
+	}
+}

@@ -1,0 +1,228 @@
+// Package noblock checks that scheduler hot-path functions never block
+// the worker.
+//
+// The latency-hiding bound of Theorem 2 — O(W/P + S·U·(1+lg U))
+// expected time — holds only if workers make a scheduling decision
+// every round: a worker that parks inside the scheduling loop stops
+// executing ready work and stops stealing, re-introducing exactly the
+// idle time latency hiding exists to remove. Suspension through heavy
+// edges (task-side yield to the worker loop) is the only sanctioned
+// wait.
+//
+// A function declares itself part of the checked hot path with an
+// //lhws:nonblocking doc-comment directive. Inside such functions the
+// analyzer flags:
+//
+//   - channel sends, receives, range-over-channel, and select
+//     statements without a default clause;
+//   - calls to known parking operations: time.Sleep, mutex and RWMutex
+//     Lock/RLock, WaitGroup.Wait, Cond.Wait, Once.Do, and the
+//     mutex-backed deque (lhws/internal/deque.Locked), whose every
+//     operation takes a lock — hot paths must use the lock-free
+//     ChaseLev;
+//   - calls to function values (closures, func fields), whose targets
+//     the analyzer cannot see;
+//   - calls to same-package functions that are not themselves marked
+//     //lhws:nonblocking, so the discipline propagates through the call
+//     graph one annotation at a time.
+//
+// Individual operations that are blocking by design — a bounded leaf
+// critical section, the task-grant handoff, deliberate backoff — are
+// acknowledged with a statement-level //lhws:allowblock directive whose
+// argument must state the justification.
+package noblock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lhws/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noblock",
+	Doc:  "check that //lhws:nonblocking scheduler hot paths contain no blocking operations",
+	Run:  run,
+}
+
+// blockingCalls maps types.Func.FullName to the reason it parks.
+var blockingCalls = map[string]string{
+	"time.Sleep":                               "sleeps the worker",
+	"(*sync.Mutex).Lock":                       "may park on lock contention",
+	"(*sync.RWMutex).Lock":                     "may park on lock contention",
+	"(*sync.RWMutex).RLock":                    "may park on lock contention",
+	"(*sync.WaitGroup).Wait":                   "parks until the group drains",
+	"(*sync.Cond).Wait":                        "parks until signalled",
+	"(*sync.Once).Do":                          "parks while another goroutine runs the function",
+	"(sync.Locker).Lock":                       "may park on lock contention",
+	"(*lhws/internal/deque.Locked).PushBottom": "mutex-backed deque; hot paths must use the lock-free ChaseLev",
+	"(*lhws/internal/deque.Locked).PopBottom":  "mutex-backed deque; hot paths must use the lock-free ChaseLev",
+	"(*lhws/internal/deque.Locked).PopTop":     "mutex-backed deque; hot paths must use the lock-free ChaseLev",
+	"(*lhws/internal/deque.Locked).Len":        "mutex-backed deque; hot paths must use the lock-free ChaseLev",
+	"(*lhws/internal/deque.Locked).Empty":      "mutex-backed deque; hot paths must use the lock-free ChaseLev",
+}
+
+func run(pass *analysis.Pass) error {
+	// First pass: which same-package functions are declared nonblocking?
+	nonblocking := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, ok := analysis.FuncDirective(fd, "nonblocking"); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					nonblocking[obj] = true
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil && nonblocking[obj] {
+				check(pass, fd, nonblocking)
+			}
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl, nonblocking map[types.Object]bool) {
+	// The send/receive in a select's comm clauses is accounted for by the
+	// select itself (blocking iff there is no default case); collect those
+	// nodes so the general send/receive cases below skip them.
+	commOps := make(map[ast.Node]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			switch comm := cc.Comm.(type) {
+			case *ast.SendStmt:
+				commOps[comm] = true
+			case *ast.ExprStmt:
+				commOps[ast.Unparen(comm.X)] = true
+			case *ast.AssignStmt:
+				for _, rhs := range comm.Rhs {
+					commOps[ast.Unparen(rhs)] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if commOps[n] {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Spawning is not blocking; the spawned body runs on another
+			// goroutine and is outside this function's hot path.
+			return false
+		case *ast.FuncLit:
+			// A literal merely defined here may run elsewhere; only calls
+			// are checked, and an immediate call is caught as indirect.
+			return false
+		case *ast.SendStmt:
+			report(pass, n.Pos(), "channel send blocks the worker loop; suspend via heavy edges instead")
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(pass, n.Pos(), "channel receive blocks the worker loop; suspend via heavy edges instead")
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					report(pass, n.Pos(), "range over channel blocks the worker loop")
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				report(pass, n.Pos(), "select without default blocks the worker loop")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, nonblocking)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, nonblocking map[types.Object]bool) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		// Conversion, builtin, or a call of a function value. The first
+		// two are harmless; the last is opaque, so it must be vouched for.
+		if isOpaqueCall(pass, call) {
+			report(pass, call.Pos(), "call of a function value from a nonblocking context; the analyzer cannot see its body")
+		}
+		return
+	}
+	if reason, ok := blockingCalls[fn.FullName()]; ok {
+		report(pass, call.Pos(), "%s %s", fn.FullName(), reason)
+		return
+	}
+	if (fn.Pkg() == pass.Pkg && fn.Signature().Recv() == nil) || samePackageMethod(pass, fn) {
+		if !nonblocking[funcObject(fn)] {
+			report(pass, call.Pos(), "call to %s, which is not marked //lhws:nonblocking; annotate it or justify with //lhws:allowblock", fn.Name())
+		}
+	}
+}
+
+// samePackageMethod reports whether fn is a concrete method declared in
+// the package under analysis (interface methods have no body to vet and
+// are skipped).
+func samePackageMethod(pass *analysis.Pass, fn *types.Func) bool {
+	if fn.Pkg() != pass.Pkg {
+		return false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return false
+	}
+	if _, ok := recv.Type().Underlying().(*types.Interface); ok {
+		return false
+	}
+	return true
+}
+
+func funcObject(fn *types.Func) types.Object {
+	return fn.Origin()
+}
+
+// isOpaqueCall reports whether call invokes a function value (rather
+// than a conversion or builtin).
+func isOpaqueCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	if tv.IsType() || tv.IsBuiltin() {
+		return false
+	}
+	_, isSig := tv.Type.Underlying().(*types.Signature)
+	return isSig
+}
+
+func report(pass *analysis.Pass, pos token.Pos, format string, args ...any) {
+	if pass.Suppressed(pos, "allowblock") {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,44 @@
+// Package a exercises the positive cases of the noblock analyzer.
+package a
+
+import (
+	"sync"
+	"time"
+
+	"lhws/internal/deque"
+)
+
+// hot is a checked scheduling hot path.
+//
+//lhws:nonblocking
+func hot(mu *sync.Mutex, wg *sync.WaitGroup, ch chan int) {
+	mu.Lock()                    // want `may park on lock contention`
+	time.Sleep(time.Millisecond) // want `sleeps the worker`
+	wg.Wait()                    // want `parks until the group drains`
+	ch <- 1                      // want `channel send blocks`
+	<-ch                         // want `channel receive blocks`
+	select {                     // want `select without default`
+	case <-ch:
+	}
+	for range ch { // want `range over channel`
+	}
+	helper() // want `not marked //lhws:nonblocking`
+	var f func()
+	f() // want `function value`
+}
+
+// lockedDeque shows the mutex-backed deque is banned from hot paths.
+//
+//lhws:nonblocking
+func lockedDeque(d *deque.Locked) {
+	d.PushBottom(nil) // want `mutex-backed deque`
+}
+
+func helper() {}
+
+// cold is unannotated: nothing inside it is checked.
+func cold(mu *sync.Mutex) {
+	mu.Lock()
+	time.Sleep(time.Millisecond)
+	mu.Unlock()
+}

@@ -1,0 +1,55 @@
+// Package b is the clean fixture: a hot path that polls, spawns, uses
+// the lock-free deque, and justifies its one deliberate blocking call.
+package b
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lhws/internal/deque"
+)
+
+// loop is the fixture's nonblocking scheduling loop.
+//
+//lhws:nonblocking
+func loop(d *deque.ChaseLev, done chan struct{}, n *atomic.Int64) bool {
+	// Polling a channel with a default case does not park.
+	select {
+	case <-done:
+		return true
+	default:
+	}
+	if it, ok := d.PopBottom(); ok {
+		_ = it
+		n.Add(1)
+	}
+	// Spawning is not blocking; the goroutine body is outside this hot path.
+	go func(ch chan struct{}) {
+		<-ch
+	}(done)
+	step(n)
+	backoff()
+	return false
+}
+
+// step is a helper vetted into the hot path.
+//
+//lhws:nonblocking
+func step(n *atomic.Int64) { n.Add(1) }
+
+// backoff escalates to a short sleep, which is deliberate: it yields
+// the processor so timer goroutines run even on a single P.
+//
+//lhws:nonblocking
+func backoff() {
+	time.Sleep(time.Microsecond) //lhws:allowblock deliberate escalating backoff between failed steals
+}
+
+// drain is a blocking-mode function; it is not annotated and therefore
+// free to block.
+func drain(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return <-ch
+}

@@ -1,0 +1,88 @@
+// Package rngplumb keeps randomness plumbed through lhws/internal/rng.
+//
+// Deterministic replay is a first-class requirement here: a simulated
+// execution must be bit-for-bit reproducible from its seed for
+// experiments and regression tests to be stable, and the schedulers
+// therefore draw every random decision from explicit, per-worker
+// rng.RNG streams split from a root seed. The global source in
+// math/rand (and math/rand/v2) breaks that twice over — its state is
+// process-wide, so an unrelated draw anywhere perturbs every stream,
+// and it is seeded non-deterministically by default.
+//
+// The analyzer flags any use of math/rand or math/rand/v2 package-level
+// state — the global draw functions (Intn, Float64, Perm, Shuffle, ...)
+// and Seed — outside lhws/internal/rng itself. Instance-based use
+// (methods on a *rand.Rand the caller constructed) and the constructors
+// and types needed to build instances are allowed: they are
+// reproducible when seeded, though new code should still prefer
+// internal/rng for splittable per-worker streams. An intentional
+// exception is acknowledged with a statement-level //lhws:rand-ok
+// directive carrying a justification.
+package rngplumb
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"lhws/internal/analysis"
+)
+
+// RNGPath is the sanctioned randomness package.
+const RNGPath = "lhws/internal/rng"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "rngplumb",
+	Doc:  "check that math/rand global state is not used outside internal/rng",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == RNGPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			path := obj.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if !usesGlobalState(obj) {
+				return true
+			}
+			if pass.Suppressed(id.Pos(), "rand-ok") {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%s.%s draws from math/rand global state, breaking deterministic replay; use %s streams instead",
+				obj.Pkg().Name(), obj.Name(), RNGPath)
+			return true
+		})
+	}
+	return nil
+}
+
+// usesGlobalState reports whether obj is part of math/rand's global
+// source: the package-level draw functions and Seed. Types, methods on
+// caller-owned values, and the New*/constructor family are instance
+// machinery and allowed.
+func usesGlobalState(obj types.Object) bool {
+	switch obj := obj.(type) {
+	case *types.Func:
+		if obj.Signature().Recv() != nil {
+			return false // method on a caller-constructed generator
+		}
+		return !strings.HasPrefix(obj.Name(), "New")
+	case *types.Var:
+		return true // no exported vars today; future-proof
+	}
+	return false // types, constants, package names
+}

@@ -1,0 +1,13 @@
+package rngplumb_test
+
+import (
+	"testing"
+
+	"lhws/internal/analysis/analysistest"
+	"lhws/internal/analysis/rngplumb"
+)
+
+func TestRNGPlumb(t *testing.T) {
+	td := analysistest.TestData(t)
+	analysistest.Run(t, td, rngplumb.Analyzer, "a", "b", "lhws/internal/rng")
+}

@@ -1,0 +1,30 @@
+// Package a exercises the positive cases of the rngplumb analyzer.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func draw() int {
+	return rand.Intn(10) // want `rand\.Intn draws from math/rand global state`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from math/rand global state`
+}
+
+func drawV2() int {
+	return randv2.IntN(10) // want `rand\.IntN draws from math/rand global state`
+}
+
+// seeded builds a caller-owned generator: the constructors and the
+// instance methods are reproducible and allowed.
+func seeded() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}
+
+func jitter() int {
+	return rand.Int() //lhws:rand-ok demo-only jitter, not visible to experiments
+}

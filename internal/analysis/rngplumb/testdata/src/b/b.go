@@ -1,0 +1,17 @@
+// Package b is the clean fixture: randomness flows through explicit,
+// seeded generator instances only.
+package b
+
+import "math/rand"
+
+type worker struct {
+	rnd *rand.Rand
+}
+
+func newWorker(seed int64) *worker {
+	return &worker{rnd: rand.New(rand.NewSource(seed))}
+}
+
+func (w *worker) pickVictim(n int) int {
+	return w.rnd.Intn(n)
+}

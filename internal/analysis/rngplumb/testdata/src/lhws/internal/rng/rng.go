@@ -1,0 +1,11 @@
+// Package rng is a fixture standing in for lhws/internal/rng, the one
+// package allowed to touch math/rand global state (it is the sanctioned
+// wrapper).
+package rng
+
+import "math/rand"
+
+// Jitter may use the global source: this package is exempt.
+func Jitter(n int) int {
+	return rand.Intn(n)
+}

@@ -148,6 +148,7 @@ func (ch *Chan[T]) sendBlocking(v T) {
 	ch.mu.Unlock()
 }
 
+//lhws:owner the receiving task holds its worker's owner role and lends it to tasks it runs inline
 func (ch *Chan[T]) recvBlocking(c *Ctx) T {
 	for {
 		ch.mu.Lock()

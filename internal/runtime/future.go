@@ -74,6 +74,7 @@ func (f *Future) Await(c *Ctx) {
 	c.yield()
 }
 
+//lhws:owner the awaiting task holds its worker's owner role and lends it to tasks it runs inline
 func (f *Future) awaitBlocking(c *Ctx) {
 	for {
 		if f.Done() {

@@ -25,6 +25,7 @@ type rdeque struct {
 	inResumedSet bool
 }
 
+//lhws:nonblocking
 func newRdeque(owner *worker) *rdeque {
 	return &rdeque{q: deque.NewChaseLev(), owner: owner}
 }
@@ -56,8 +57,10 @@ func (d *rdeque) addResumed(t *task) {
 
 // takeResumed removes and returns the resumed set, clearing the
 // registration flag. Called by the owner when injecting resumed tasks.
+//
+//lhws:nonblocking
 func (d *rdeque) takeResumed() []*task {
-	d.mu.Lock()
+	d.mu.Lock() //lhws:allowblock leaf mutex with O(1) critical section, never held across a wait
 	ts := d.resumed
 	d.resumed = nil
 	d.inResumedSet = false
@@ -67,8 +70,10 @@ func (d *rdeque) takeResumed() []*task {
 
 // idle reports whether the deque holds no items, no suspended tasks, and
 // no pending resumed tasks — i.e. it can be dropped.
+//
+//lhws:nonblocking
 func (d *rdeque) idle() bool {
-	d.mu.Lock()
+	d.mu.Lock() //lhws:allowblock leaf mutex with O(1) critical section, never held across a wait
 	ok := d.suspendCtr == 0 && len(d.resumed) == 0 && !d.inResumedSet
 	d.mu.Unlock()
 	return ok && d.q.Empty()

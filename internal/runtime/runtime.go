@@ -189,6 +189,10 @@ func (rt *runtimeState) taskDone() {
 	}
 }
 
+// finished polls the done channel; the default case keeps it
+// non-parking.
+//
+//lhws:nonblocking
 func (rt *runtimeState) finished() bool {
 	select {
 	case <-rt.done:

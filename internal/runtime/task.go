@@ -69,6 +69,8 @@ func (c *Ctx) Worker() int { return c.w.id }
 // deque. The parent continues running (spawn is non-preemptive: the
 // continuation keeps the worker, per §3). The returned Future completes
 // when the child finishes.
+//
+//lhws:owner a running task holds its worker's owner role between resume and report (see task)
 func (c *Ctx) Spawn(f func(*Ctx)) *Future {
 	fut := newFuture()
 	child := newTask(c.t.rt, func(cc *Ctx) {

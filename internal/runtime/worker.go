@@ -31,6 +31,14 @@ func newWorker(rt *runtimeState, id int, r *rng.RNG) *worker {
 	return &worker{rt: rt, id: id, rnd: r}
 }
 
+// loop is the latency-hiding scheduling loop (Figure 3). It must never
+// park: a blocked worker neither executes ready work nor steals, which
+// is the idle time Theorem 2's bound assumes away. The only sanctioned
+// waits are the task-grant handoff in runTask and the escalating
+// backoff, both justified at their call sites.
+//
+//lhws:nonblocking
+//lhws:owner the worker-loop goroutine is the unique owner of its active deque
 func (w *worker) loop() {
 	w.adoptDeque(newRdeque(w))
 	if w.rt.cfg.Mode == Blocking {
@@ -48,7 +56,7 @@ func (w *worker) loop() {
 		}
 		if t != nil {
 			w.failedSteals = 0
-			w.runTask(t)
+			w.runTask(t) //lhws:allowblock the grant handoff parks the loop only while its task runs; the task yields back at every scheduling point
 			continue
 		}
 		w.retireActive()
@@ -65,6 +73,13 @@ func (w *worker) loop() {
 	}
 }
 
+// loopBlocking is the baseline work-stealing loop. It is held to the
+// same no-parking discipline as loop: in Blocking mode the latency cost
+// lands inside tasks (time.Sleep on the worker's goroutine during
+// runTask), not in the scheduling loop itself.
+//
+//lhws:nonblocking
+//lhws:owner the worker-loop goroutine is the unique owner of its single deque
 func (w *worker) loopBlocking() {
 	for {
 		t := w.assigned
@@ -76,7 +91,8 @@ func (w *worker) loopBlocking() {
 		}
 		if t != nil {
 			w.failedSteals = 0
-			w.runTask(t) // blocking tasks always run to completion
+			//lhws:allowblock blocking-mode tasks run to completion on the grant; that cost is the baseline being measured
+			w.runTask(t)
 			continue
 		}
 		if w.tryStealBlocking() {
@@ -106,8 +122,11 @@ func (w *worker) runTask(t *task) reportKind {
 // task granularity: push every resumed task back onto its owning deque and
 // mark non-active deques ready. Per §6's simplifications, resumed tasks
 // are pushed individually rather than wrapped in a pfor closure.
+//
+//lhws:nonblocking
+//lhws:owner runs on the worker-loop goroutine, which owns every deque it drains
 func (w *worker) drainResumed() {
-	w.mu.Lock()
+	w.mu.Lock() //lhws:allowblock leaf mutex with O(1) critical sections, never held across a wait
 	dqs := w.resumedDq
 	w.resumedDq = nil
 	w.mu.Unlock()
@@ -132,8 +151,9 @@ func (w *worker) noteResumedDeque(d *rdeque) {
 	w.mu.Unlock()
 }
 
+//lhws:nonblocking
 func (w *worker) addReady(d *rdeque) {
-	w.mu.Lock()
+	w.mu.Lock() //lhws:allowblock leaf mutex with O(ready) critical section, never held across a wait
 	found := false
 	for _, q := range w.ready {
 		if q == d {
@@ -150,13 +170,15 @@ func (w *worker) addReady(d *rdeque) {
 // retireActive drops an exhausted active deque, or abandons it (keeping
 // ownership for pending callbacks) when tasks belonging to it are still
 // suspended.
+//
+//lhws:nonblocking
 func (w *worker) retireActive() {
 	a := w.active
 	if a == nil {
 		return
 	}
 	drop := a.idle()
-	w.mu.Lock()
+	w.mu.Lock() //lhws:allowblock leaf mutex with O(1) critical section, never held across a wait
 	w.active = nil
 	if drop {
 		w.live--
@@ -166,8 +188,10 @@ func (w *worker) retireActive() {
 
 // trySwitch activates one of the worker's ready deques (Figure 3,
 // lines 46-48).
+//
+//lhws:nonblocking
 func (w *worker) trySwitch() bool {
-	w.mu.Lock()
+	w.mu.Lock() //lhws:allowblock leaf mutex with O(1) critical section, never held across a wait
 	n := len(w.ready)
 	if n == 0 {
 		w.mu.Unlock()
@@ -183,13 +207,15 @@ func (w *worker) trySwitch() bool {
 
 // trySteal performs one steal attempt under the §6 policy: choose a random
 // victim worker, then a random deque among its active and ready deques.
+//
+//lhws:nonblocking
 func (w *worker) trySteal() bool {
 	w.rt.stats.StealAttempts.Add(1)
 	victim := w.pickVictim()
 	if victim == nil {
 		return false
 	}
-	victim.mu.Lock()
+	victim.mu.Lock() //lhws:allowblock leaf mutex on the victim, O(deques) critical section, never held across a wait
 	var cands []*rdeque
 	if victim.active != nil {
 		cands = append(cands, victim.active)
@@ -213,13 +239,14 @@ func (w *worker) trySteal() bool {
 	return true
 }
 
+//lhws:nonblocking
 func (w *worker) tryStealBlocking() bool {
 	w.rt.stats.StealAttempts.Add(1)
 	victim := w.pickVictim()
 	if victim == nil {
 		return false
 	}
-	victim.mu.Lock()
+	victim.mu.Lock() //lhws:allowblock leaf mutex on the victim, O(1) critical section, never held across a wait
 	target := victim.active
 	victim.mu.Unlock()
 	if target == nil {
@@ -234,6 +261,7 @@ func (w *worker) tryStealBlocking() bool {
 	return true
 }
 
+//lhws:nonblocking
 func (w *worker) pickVictim() *worker {
 	n := len(w.rt.workers)
 	if n == 1 {
@@ -248,8 +276,10 @@ func (w *worker) pickVictim() *worker {
 
 // adoptDeque installs a fresh deque as the active deque and updates the
 // per-worker allocation high-water mark.
+//
+//lhws:nonblocking
 func (w *worker) adoptDeque(d *rdeque) {
-	w.mu.Lock()
+	w.mu.Lock() //lhws:allowblock leaf mutex with O(1) critical section, never held across a wait
 	w.active = d
 	w.live++
 	live := w.live
@@ -264,11 +294,13 @@ func (w *worker) adoptDeque(d *rdeque) {
 
 // backoff yields the processor between failed steal attempts, escalating
 // to short sleeps so timer goroutines can run even on GOMAXPROCS=1.
+//
+//lhws:nonblocking
 func (w *worker) backoff() {
 	w.failedSteals++
 	if w.failedSteals < 8 {
 		goruntime.Gosched()
 		return
 	}
-	time.Sleep(50 * time.Microsecond)
+	time.Sleep(50 * time.Microsecond) //lhws:allowblock deliberate bounded backoff after repeated failed steals; yields the P so timers fire on GOMAXPROCS=1
 }

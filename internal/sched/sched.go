@@ -318,8 +318,13 @@ type ldeque struct {
 	lastExecRound int64
 }
 
+//lhws:nonblocking
 func (q *ldeque) pushBottom(n *node) { q.items = append(q.items, n) }
-func (q *ldeque) empty() bool        { return len(q.items) == 0 }
+
+//lhws:nonblocking
+func (q *ldeque) empty() bool { return len(q.items) == 0 }
+
+//lhws:nonblocking
 func (q *ldeque) popBottom() *node {
 	if len(q.items) == 0 {
 		return nil
@@ -329,6 +334,8 @@ func (q *ldeque) popBottom() *node {
 	q.items = q.items[:len(q.items)-1]
 	return n
 }
+
+//lhws:nonblocking
 func (q *ldeque) popTop() *node {
 	if len(q.items) == 0 {
 		return nil
