@@ -3,7 +3,7 @@ GO ?= go
 # Core packages whose hot paths the race/vet gates guard.
 CORE := ./internal/deque/... ./internal/runtime/... ./internal/sched/...
 
-.PHONY: all build test race vet lint ci figures clean
+.PHONY: all build test race race-core vet lint chaos ci figures clean
 
 all: build
 
@@ -32,8 +32,16 @@ lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# chaos runs the fault-injection suite under the race detector: every
+# scheduler fault point (failed steals, dropped/delayed/duplicated
+# wakeups, injected panics) at seeded rates, replayed over three fixed
+# seeds baked into the tests. Runs must produce correct results or typed
+# errors with watchdog diagnostics — never hang (see DESIGN.md §7).
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/runtime/
+
 # ci mirrors .github/workflows/ci.yml.
-ci: build lint vet test race
+ci: build lint vet test race chaos
 
 figures:
 	$(GO) run ./cmd/lhws-bench -exp fig11 -svg figures

@@ -5,10 +5,19 @@
 // suspension width is 1 — the paper's minimal-U example — yet the handlers
 // run in parallel with the waiting.
 //
+// On top of the Figure 10 shape, each request runs under a per-request
+// deadline (Ctx.WithDeadline): handlers whose simulated backend is slow
+// are canceled mid-flight and surface lhws.ErrDeadline from AwaitErr as a
+// structured per-request outcome, while fast requests complete normally —
+// the server answers every request, on time or with a typed timeout,
+// instead of letting one slow backend stall the batch.
+//
 //	go run ./examples/server [-requests 30] [-arrival 3ms] [-workers 4]
+//	    [-deadline 25ms] [-slowevery 5]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -28,9 +37,9 @@ func getInput(c *lhws.Ctx, i, total int, arrival time.Duration) (int, bool) {
 	return i * 7, true
 }
 
-// handle is f(x): per-request computation, sized comparable to the arrival
-// latency so that hiding the wait matters even on one worker.
-func handle(x int) int64 {
+// compute is f(x): per-request computation, sized comparable to the
+// arrival latency so that hiding the wait matters even on one worker.
+func compute(x int) int64 {
 	acc := int64(x)
 	for i := 0; i < 3_000_000; i++ {
 		acc += int64(i) ^ (acc >> 2)
@@ -38,65 +47,107 @@ func handle(x int) int64 {
 	return acc%1000003 + int64(x)
 }
 
+// handle serves one request: a backend fetch (latency-incurring, staged so
+// a deadline can interrupt between stages even in blocking mode) followed
+// by the f(x) compute. Slow requests model a degraded backend: their
+// staged fetch far exceeds any reasonable deadline.
+func handle(cc *lhws.Ctx, x int, slow bool) int64 {
+	stages, stage := 1, time.Millisecond
+	if slow {
+		stages, stage = 4, 15*time.Millisecond
+	}
+	for s := 0; s < stages; s++ {
+		cc.Latency(stage) // checkpoint: a fired deadline unwinds here
+	}
+	return compute(x)
+}
+
+// outcome is one request's structured result.
+type outcome struct {
+	input int
+	slow  bool
+	res   *lhws.Value[int64]
+	done  func()
+}
+
 // serve is Figure 10 in iterative form: get an input; if there is one,
-// fork its handler (the spawned thread) while the server loop itself is
-// the continuation — exactly the dag of Figure 9, where the getInput spine
-// carries on and each f(x) hangs off it. Because the loop continues
-// immediately into the next getInput, the arrival wait overlaps with the
-// pending handlers under latency hiding. Results are combined with g
-// (addition) at the end, as the recursive joins would.
-func serve(c *lhws.Ctx, total int, arrival time.Duration) int64 {
-	var handlers []*lhws.Value[int64]
+// fork its handler (the spawned thread) under a per-request deadline
+// while the server loop itself is the continuation — the dag of Figure 9,
+// where the getInput spine carries on and each f(x) hangs off it. The
+// joins then collect structured results: a sum over the requests that
+// made their deadline and a count of typed timeouts.
+func serve(c *lhws.Ctx, total, slowEvery int, arrival, deadline time.Duration) (sum int64, ok, timedOut int) {
+	var pending []outcome
 	for i := 0; ; i++ {
-		input, ok := getInput(c, i, total, arrival)
-		if !ok {
+		input, more := getInput(c, i, total, arrival)
+		if !more {
 			break
 		}
-		handlers = append(handlers, lhws.SpawnValue(c, func(cc *lhws.Ctx) int64 {
-			return handle(input)
-		}))
+		slow := slowEvery > 0 && i%slowEvery == slowEvery-1
+		hc, cancel := c.WithDeadline(deadline)
+		res := lhws.SpawnValue(hc, func(cc *lhws.Ctx) int64 {
+			return handle(cc, input, slow)
+		})
+		pending = append(pending, outcome{input: input, slow: slow, res: res, done: cancel})
 	}
-	var sum int64
-	for _, h := range handlers {
-		sum += h.Await(c)
+	for _, p := range pending {
+		v, err := p.res.AwaitErr(c) // join via the server's own ctx, not hc
+		p.done()
+		switch {
+		case err == nil:
+			sum += v
+			ok++
+		case errors.Is(err, lhws.ErrDeadline):
+			timedOut++
+		default:
+			log.Fatalf("request %d: unexpected error: %v", p.input, err)
+		}
 	}
-	return sum
+	return sum, ok, timedOut
 }
 
 func main() {
 	var (
-		requests = flag.Int("requests", 20, "requests before shutdown")
-		arrival  = flag.Duration("arrival", 4*time.Millisecond, "request arrival latency")
-		workers  = flag.Int("workers", 1, "worker goroutines")
+		requests  = flag.Int("requests", 20, "requests before shutdown")
+		arrival   = flag.Duration("arrival", 4*time.Millisecond, "request arrival latency")
+		workers   = flag.Int("workers", 1, "worker goroutines")
+		deadline  = flag.Duration("deadline", 25*time.Millisecond, "per-request deadline")
+		slowEvery = flag.Int("slowevery", 5, "every Nth request hits a slow backend (0 = never)")
 	)
 	flag.Parse()
 	if goruntime.GOMAXPROCS(0) < *workers {
 		goruntime.GOMAXPROCS(*workers)
 	}
 
+	slowCount := 0
+	if *slowEvery > 0 {
+		slowCount = *requests / *slowEvery
+	}
 	fmt.Printf("server: %d requests arriving every %v, %d worker(s)\n", *requests, *arrival, *workers)
-	fmt.Printf("arrival waits alone: %v; handler compute per request: a few ms\n\n",
-		time.Duration(*requests)*(*arrival))
+	fmt.Printf("per-request deadline %v; %d request(s) hit a slow backend and should time out\n\n",
+		*deadline, slowCount)
 
-	var reference int64
 	for _, mode := range []lhws.RuntimeMode{lhws.Blocking, lhws.LatencyHiding} {
-		var result int64
+		var sum int64
+		var ok, timedOut int
 		st, err := lhws.RunTasks(lhws.RuntimeConfig{Workers: *workers, Mode: mode}, func(c *lhws.Ctx) {
-			result = serve(c, *requests, *arrival)
+			sum, ok, timedOut = serve(c, *requests, *slowEvery, *arrival, *deadline)
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-15s wall %-12v suspensions %-4d max deques/worker %d\n",
-			mode.String()+":", st.Wall.Round(time.Millisecond), st.Suspensions, st.MaxDequesPerWorker)
-		if reference == 0 {
-			reference = result
-		} else if result != reference {
-			log.Fatalf("modes disagree: %d != %d", result, reference)
+		fmt.Printf("%-15s wall %-12v ok %-3d timeout %-3d sum %-8d suspensions %-4d max deques/worker %d\n",
+			mode.String()+":", st.Wall.Round(time.Millisecond), ok, timedOut, sum,
+			st.Suspensions, st.MaxDequesPerWorker)
+		if ok+timedOut != *requests {
+			log.Fatalf("lost requests: %d ok + %d timeout != %d", ok, timedOut, *requests)
 		}
 	}
 	fmt.Println("\nThe blocking server alternates wait, handle, wait, handle — paying")
-	fmt.Println("arrival latency plus compute. The latency-hiding server computes")
-	fmt.Println("handlers during the waits, and with U = 1 needs at most two deques")
-	fmt.Println("per worker (Lemma 7).")
+	fmt.Println("arrival latency plus compute, so queueing delay counts against each")
+	fmt.Println("request's deadline and fast requests can time out behind slow ones.")
+	fmt.Println("The latency-hiding server computes handlers during the waits (at")
+	fmt.Println("most two deques per worker with U = 1, Lemma 7) and makes more")
+	fmt.Println("deadlines; either way a slow backend surfaces as a typed")
+	fmt.Println("ErrDeadline timeout instead of stalling the whole batch.")
 }

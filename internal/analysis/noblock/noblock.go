@@ -16,10 +16,11 @@
 //   - channel sends, receives, range-over-channel, and select
 //     statements without a default clause;
 //   - calls to known parking operations: time.Sleep, mutex and RWMutex
-//     Lock/RLock, WaitGroup.Wait, Cond.Wait, Once.Do, and the
-//     mutex-backed deque (lhws/internal/deque.Locked), whose every
-//     operation takes a lock — hot paths must use the lock-free
-//     ChaseLev;
+//     Lock/RLock, WaitGroup.Wait, Cond.Wait, Once.Do, the mutex-backed
+//     deque (lhws/internal/deque.Locked), whose every operation takes a
+//     lock — hot paths must use the lock-free ChaseLev — and the fault
+//     injector's task-side Inject, which sleeps or panics by design
+//     (worker hot paths consult Decide instead);
 //   - calls to function values (closures, func fields), whose targets
 //     the analyzer cannot see;
 //   - calls to same-package functions that are not themselves marked
@@ -48,19 +49,20 @@ var Analyzer = &analysis.Analyzer{
 
 // blockingCalls maps types.Func.FullName to the reason it parks.
 var blockingCalls = map[string]string{
-	"time.Sleep":                               "sleeps the worker",
-	"(*sync.Mutex).Lock":                       "may park on lock contention",
-	"(*sync.RWMutex).Lock":                     "may park on lock contention",
-	"(*sync.RWMutex).RLock":                    "may park on lock contention",
-	"(*sync.WaitGroup).Wait":                   "parks until the group drains",
-	"(*sync.Cond).Wait":                        "parks until signalled",
-	"(*sync.Once).Do":                          "parks while another goroutine runs the function",
-	"(sync.Locker).Lock":                       "may park on lock contention",
-	"(*lhws/internal/deque.Locked).PushBottom": "mutex-backed deque; hot paths must use the lock-free ChaseLev",
-	"(*lhws/internal/deque.Locked).PopBottom":  "mutex-backed deque; hot paths must use the lock-free ChaseLev",
-	"(*lhws/internal/deque.Locked).PopTop":     "mutex-backed deque; hot paths must use the lock-free ChaseLev",
-	"(*lhws/internal/deque.Locked).Len":        "mutex-backed deque; hot paths must use the lock-free ChaseLev",
-	"(*lhws/internal/deque.Locked).Empty":      "mutex-backed deque; hot paths must use the lock-free ChaseLev",
+	"time.Sleep":                                  "sleeps the worker",
+	"(*sync.Mutex).Lock":                          "may park on lock contention",
+	"(*sync.RWMutex).Lock":                        "may park on lock contention",
+	"(*sync.RWMutex).RLock":                       "may park on lock contention",
+	"(*sync.WaitGroup).Wait":                      "parks until the group drains",
+	"(*sync.Cond).Wait":                           "parks until signalled",
+	"(*sync.Once).Do":                             "parks while another goroutine runs the function",
+	"(sync.Locker).Lock":                          "may park on lock contention",
+	"(*lhws/internal/deque.Locked).PushBottom":    "mutex-backed deque; hot paths must use the lock-free ChaseLev",
+	"(*lhws/internal/deque.Locked).PopBottom":     "mutex-backed deque; hot paths must use the lock-free ChaseLev",
+	"(*lhws/internal/deque.Locked).PopTop":        "mutex-backed deque; hot paths must use the lock-free ChaseLev",
+	"(*lhws/internal/deque.Locked).Len":           "mutex-backed deque; hot paths must use the lock-free ChaseLev",
+	"(*lhws/internal/deque.Locked).Empty":         "mutex-backed deque; hot paths must use the lock-free ChaseLev",
+	"(*lhws/internal/faultpoint.Injector).Inject": "sleeps or panics by design (chaos injection); worker hot paths must use Decide and act non-blockingly",
 }
 
 func run(pass *analysis.Pass) error {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lhws/internal/deque"
+	"lhws/internal/faultpoint"
 )
 
 // hot is a checked scheduling hot path.
@@ -32,6 +33,14 @@ func hot(mu *sync.Mutex, wg *sync.WaitGroup, ch chan int) {
 //lhws:nonblocking
 func lockedDeque(d *deque.Locked) {
 	d.PushBottom(nil) // want `mutex-backed deque`
+}
+
+// chaosHot shows the fault injector's task-side hook is banned from hot
+// paths: Inject sleeps or panics by design.
+//
+//lhws:nonblocking
+func chaosHot(inj *faultpoint.Injector) {
+	inj.Inject(faultpoint.Suspend) // want `sleeps or panics by design`
 }
 
 func helper() {}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lhws/internal/deque"
+	"lhws/internal/faultpoint"
 )
 
 // loop is the fixture's nonblocking scheduling loop.
@@ -44,6 +45,30 @@ func step(n *atomic.Int64) { n.Add(1) }
 //lhws:nonblocking
 func backoff() {
 	time.Sleep(time.Microsecond) //lhws:allowblock deliberate escalating backoff between failed steals
+}
+
+// failSteal consults the fault injector with its non-blocking Decide
+// hook, which is permitted on hot paths (unlike Inject).
+//
+//lhws:nonblocking
+func failSteal(inj *faultpoint.Injector) bool {
+	if inj == nil {
+		return false
+	}
+	act, _ := inj.Decide(faultpoint.Steal)
+	return act == faultpoint.Fail
+}
+
+// watchdog is a monitor goroutine, not a worker hot path: unannotated,
+// it may park on its ticker and call the injector's blocking hook.
+func watchdog(inj *faultpoint.Injector, stop chan struct{}) {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	select {
+	case <-stop:
+	case <-tick.C:
+		inj.Inject(faultpoint.ResumeInject)
+	}
 }
 
 // drain is a blocking-mode function; it is not annotated and therefore

@@ -1,0 +1,29 @@
+// Package faultpoint is a fixture standing in for the real
+// lhws/internal/faultpoint, providing the Injector methods noblock's
+// blocking set refers to.
+package faultpoint
+
+import "time"
+
+type Point int
+
+const (
+	Steal Point = iota
+	Suspend
+	ResumeInject
+)
+
+type Action int
+
+const (
+	None Action = iota
+	Fail
+)
+
+type Injector struct{}
+
+// Decide never blocks beyond a leaf mutex; hot paths may call it.
+func (in *Injector) Decide(p Point) (Action, time.Duration) { return None, 0 }
+
+// Inject sleeps or panics by design; banned from nonblocking contexts.
+func (in *Injector) Inject(p Point) {}

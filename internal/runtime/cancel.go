@@ -1,0 +1,237 @@
+package runtime
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cancellation errors. Run returns them (possibly wrapped) when the
+// whole execution is canceled; Future.Err carries them for a canceled
+// subtree.
+var (
+	// ErrCanceled reports that a task's cancellation scope was canceled
+	// explicitly via the cancel function of WithCancel/WithDeadline or
+	// via Ctx.Cancel.
+	ErrCanceled = errors.New("runtime: canceled")
+	// ErrDeadline reports that a deadline installed with
+	// Ctx.WithDeadline or Config.Deadline elapsed.
+	ErrDeadline = errors.New("runtime: deadline exceeded")
+)
+
+// cancelPanic is the unwinding vehicle for cooperative cancellation: a
+// task whose scope is canceled panics with this value at its next
+// scheduling point, and task.main converts it into the task's error
+// instead of treating it as a crash. The type is unexported so user
+// code cannot forge one; user recovers that swallow it are tolerated —
+// the next scheduling point re-raises.
+type cancelPanic struct{ err error }
+
+// cancelScope is a node in the run's cancellation tree. Every task
+// carries the scope it was spawned under; WithCancel/WithDeadline
+// derive child scopes, so the scope tree follows the fork-join spawn
+// tree and canceling a scope cancels exactly that subtree (paper §3's
+// computation tree, pruned at a vertex).
+//
+// Canceling a scope (a) marks it and all descendant scopes, making
+// every checkpoint in their tasks unwind; and (b) fires the abort
+// callback of every wait registered on them, waking tasks suspended on
+// Latency timers, channels, and futures so cancellation never waits on
+// a wakeup that may never come.
+//
+// Lock order: scope.mu is taken before any channel, future, deque, or
+// registry mutex (aborts run with scope.mu released), and never the
+// other way around.
+type cancelScope struct {
+	rt     *runtimeState
+	parent *cancelScope
+
+	// canceled is the lock-free fast path for checkpoints: set to true
+	// only after err is published under mu.
+	canceled atomic.Bool
+
+	mu       sync.Mutex
+	err      error
+	children map[*cancelScope]struct{}
+	waits    map[any]func(error)
+	timer    *time.Timer
+}
+
+// newCancelScope creates a scope under parent (nil for the root). A
+// scope derived from an already-canceled parent is born canceled.
+func newCancelScope(rt *runtimeState, parent *cancelScope) *cancelScope {
+	s := &cancelScope{rt: rt, parent: parent}
+	if parent == nil {
+		return s
+	}
+	parent.mu.Lock()
+	if err := parent.err; err != nil {
+		parent.mu.Unlock()
+		s.err = err
+		s.canceled.Store(true)
+		return s
+	}
+	if parent.children == nil {
+		parent.children = make(map[*cancelScope]struct{})
+	}
+	parent.children[s] = struct{}{}
+	parent.mu.Unlock()
+	return s
+}
+
+// Err returns the cancellation cause, or nil while the scope is live.
+func (s *cancelScope) Err() error {
+	if !s.canceled.Load() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// cancel marks the scope canceled with cause err, aborts its registered
+// waits, and recursively cancels child scopes. Idempotent: only the
+// first cause sticks.
+func (s *cancelScope) cancel(err error) {
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.err = err
+	s.canceled.Store(true)
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	waits := s.waits
+	s.waits = nil
+	kids := make([]*cancelScope, 0, len(s.children))
+	for k := range s.children {
+		kids = append(kids, k)
+	}
+	s.children = nil
+	s.mu.Unlock()
+	// Canceling the root scope fails the whole run: record the cause so
+	// Run returns it even if every task then unwinds cleanly.
+	if s.rt != nil && s == s.rt.root {
+		s.rt.noteFatal(err)
+	}
+	for _, abort := range waits {
+		abort(err)
+	}
+	for _, k := range kids {
+		k.cancel(err)
+	}
+}
+
+// setDeadline arms a timer canceling the scope with ErrDeadline.
+func (s *cancelScope) setDeadline(d time.Duration) {
+	s.mu.Lock()
+	if s.err == nil && s.timer == nil {
+		s.timer = time.AfterFunc(d, func() { s.cancel(ErrDeadline) })
+	}
+	s.mu.Unlock()
+}
+
+// release stops the deadline timer without canceling; called when the
+// run ends so a root deadline cannot fire after Run returned.
+func (s *cancelScope) release() {
+	s.mu.Lock()
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	s.mu.Unlock()
+}
+
+// detach removes the scope from its parent so a finished subtree's
+// scope is not retained (and not re-canceled) by ancestors.
+func (s *cancelScope) detach() {
+	p := s.parent
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	delete(p.children, s)
+	p.mu.Unlock()
+}
+
+// addWait registers a wait with abort as its cancellation callback. If
+// the scope is already canceled it registers nothing and returns the
+// cause; the caller then runs its abort path itself, which closes the
+// race between suspending and a concurrent cancel.
+func (s *cancelScope) addWait(key any, abort func(error)) error {
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	if s.waits == nil {
+		s.waits = make(map[any]func(error))
+	}
+	s.waits[key] = abort
+	s.mu.Unlock()
+	return nil
+}
+
+// removeWait deregisters a wait after it completed normally.
+func (s *cancelScope) removeWait(key any) {
+	s.mu.Lock()
+	if s.waits != nil {
+		delete(s.waits, key)
+	}
+	s.mu.Unlock()
+}
+
+// WithCancel derives a context whose tasks — everything spawned or
+// awaited through it — can be canceled as a group. The returned cancel
+// function cancels the subtree with ErrCanceled and releases the
+// scope; call it (typically deferred) even if the subtree completes
+// normally.
+func (c *Ctx) WithCancel() (*Ctx, func()) {
+	child := newCancelScope(c.t.rt, c.scope)
+	cc := &Ctx{t: c.t, scope: child}
+	return cc, func() {
+		child.cancel(ErrCanceled)
+		child.detach()
+	}
+}
+
+// WithDeadline derives a context canceled automatically with
+// ErrDeadline after d. The returned cancel function releases the scope
+// early (with ErrCanceled if it is the first cause); always call it.
+func (c *Ctx) WithDeadline(d time.Duration) (*Ctx, func()) {
+	cc, cancel := c.WithCancel()
+	cc.scope.setDeadline(d)
+	return cc, cancel
+}
+
+// Cancel cancels the context's own scope with ErrCanceled. On a root
+// context (the one Run passed to the root task) this cancels the whole
+// run, and Run returns ErrCanceled.
+func (c *Ctx) Cancel() { c.scope.cancel(ErrCanceled) }
+
+// Err returns the context's cancellation cause (ErrCanceled,
+// ErrDeadline, a *StallError, or the first task panic), or nil while
+// the scope is live. CPU-bound tasks should poll Err at loop
+// boundaries: cancellation is cooperative and only unwinds a task at
+// its scheduling points.
+func (c *Ctx) Err() error { return c.scope.Err() }
+
+// checkpoint unwinds the task if the scope it was spawned under has been
+// canceled. Called at every scheduling point (Spawn, Latency, Await,
+// channel operations). It deliberately tests the task's own scope, not
+// the handle's: a derived handle (WithCancel/WithDeadline) whose scope
+// was canceled does not unwind the task here — children spawned through
+// it are born canceled and unwind themselves, and a suspension through
+// it is aborted by the scope's wait registration. That lets a parent
+// spawn into a canceled subtree and still observe the outcome via
+// AwaitErr rather than being torn down itself.
+func (c *Ctx) checkpoint() {
+	if s := c.t.scope; s.canceled.Load() {
+		panic(cancelPanic{err: s.Err()})
+	}
+}

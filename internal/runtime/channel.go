@@ -1,6 +1,15 @@
 package runtime
 
-import "sync"
+import (
+	"errors"
+	"sync"
+
+	"lhws/internal/faultpoint"
+)
+
+// ErrChanClosed is the error a suspended sender unwinds with when the
+// channel is closed underneath it.
+var ErrChanClosed = errors.New("runtime: Chan closed")
 
 // Chan is a task-level message channel with latency-hiding blocking
 // semantics: a task that receives from an empty channel (or sends to a
@@ -17,23 +26,36 @@ import "sync"
 // sends never block (see sendBlocking), so capacity only exerts
 // backpressure under latency hiding.
 //
+// Close follows Go channel semantics: receives on a closed, drained
+// channel return immediately (RecvOK reports ok=false), sending on a
+// closed channel panics, and closing twice panics. A sender suspended on
+// a full channel when Close arrives unwinds with ErrChanClosed. If the
+// receiving or sending task's scope is canceled, the operation unwinds
+// the task — before suspending, or early out of the wait.
+//
 // A Chan must only be used from tasks of a single Run invocation.
 type Chan[T any] struct {
 	mu       sync.Mutex
 	cond     *sync.Cond // blocking mode wakeups
 	buf      []T
 	capacity int // < 1 means unbounded
+	closed   bool
 	recvq    []chanRecvWaiter[T]
 	sendq    []chanSendWaiter[T]
 }
 
+// chanRecvWaiter is a suspended receiver: the peer (or Close) fills slot
+// and ok, then delivers the wakeup through the waiter's claim token.
 type chanRecvWaiter[T any] struct {
-	t    *task
+	wt   *waiter
 	slot *T
+	ok   *bool
 }
 
+// chanSendWaiter is a suspended sender parked with its value; a receiver
+// admits the value into the buffer and delivers the wakeup.
 type chanSendWaiter[T any] struct {
-	t   *task
+	wt  *waiter
 	val T
 }
 
@@ -52,61 +74,164 @@ func (ch *Chan[T]) Len() int {
 	return len(ch.buf)
 }
 
+// Close closes the channel: buffered values remain receivable, further
+// receives on a drained channel report ok=false, further sends panic.
+// Suspended receivers are woken empty-handed; suspended senders unwind
+// with ErrChanClosed (the abort path, so it stays reliable under fault
+// injection). Closing an already-closed Chan panics.
+func (ch *Chan[T]) Close() {
+	ch.mu.Lock()
+	if ch.closed {
+		ch.mu.Unlock()
+		panic("runtime: close of closed Chan")
+	}
+	ch.closed = true
+	recvq := ch.recvq
+	ch.recvq = nil
+	sendq := ch.sendq
+	ch.sendq = nil
+	ch.cond.Broadcast()
+	ch.mu.Unlock()
+	for _, r := range recvq {
+		// slot/ok retain their zero values: a close wake.
+		r.wt.deliver(faultpoint.ChanWakeup)
+	}
+	for _, s := range sendq {
+		s.wt.wake(ErrChanClosed)
+	}
+}
+
 // Send delivers v, suspending (LatencyHiding) or blocking (Blocking) while
-// a bounded channel is full.
+// a bounded channel is full. Sending on a closed Chan panics.
 func (ch *Chan[T]) Send(c *Ctx, v T) {
+	c.checkpoint()
 	if c.t.rt.cfg.Mode == Blocking {
 		ch.sendBlocking(v)
 		return
 	}
-	ch.mu.Lock()
-	// Direct handoff to a suspended receiver, if any.
-	if len(ch.recvq) > 0 {
-		w := ch.recvq[0]
-		ch.recvq = ch.recvq[1:]
-		*w.slot = v
+	for {
+		ch.mu.Lock()
+		if ch.closed {
+			ch.mu.Unlock()
+			panic("runtime: send on closed Chan")
+		}
+		// Direct handoff to a suspended receiver, if any.
+		if len(ch.recvq) > 0 {
+			r := ch.recvq[0]
+			ch.recvq = ch.recvq[1:]
+			ch.mu.Unlock()
+			// Publish value before the wakeup: the resume handoff chain
+			// orders these writes before the receiver reads the slot.
+			*r.slot = v
+			*r.ok = true
+			r.wt.deliver(faultpoint.ChanWakeup)
+			return
+		}
+		if ch.capacity < 1 || len(ch.buf) < ch.capacity {
+			ch.buf = append(ch.buf, v)
+			ch.mu.Unlock()
+			return
+		}
 		ch.mu.Unlock()
-		w.t.home.addResumed(w.t)
+		// Full: suspend this task until a receiver makes room.
+		c.injectFault(faultpoint.Suspend)
+		t := c.t
+		home := t.w.active
+		home.suspend()
+		ch.mu.Lock()
+		if ch.closed || len(ch.recvq) > 0 || len(ch.buf) < ch.capacity {
+			// The channel changed while we were off the lock; retry the
+			// fast paths rather than parking on a stale picture.
+			ch.mu.Unlock()
+			home.unsuspend()
+			continue
+		}
+		wt := t.beginWait("chan-send", home)
+		ch.sendq = append(ch.sendq, chanSendWaiter[T]{wt: wt, val: v})
+		ch.mu.Unlock()
+		abort := func(err error) {
+			ch.mu.Lock()
+			for i := range ch.sendq {
+				if ch.sendq[i].wt == wt {
+					ch.sendq = append(ch.sendq[:i], ch.sendq[i+1:]...)
+					break
+				}
+			}
+			ch.mu.Unlock()
+			wt.wake(err)
+		}
+		if err := c.scope.addWait(wt, abort); err != nil {
+			abort(err)
+		}
+		c.finishWait(wt)
 		return
 	}
-	if ch.capacity < 1 || len(ch.buf) < ch.capacity {
-		ch.buf = append(ch.buf, v)
-		ch.mu.Unlock()
-		return
-	}
-	// Full: suspend this task until a receiver makes room.
-	t := c.t
-	home := c.w.active
-	t.home = home
-	home.suspend()
-	ch.sendq = append(ch.sendq, chanSendWaiter[T]{t: t, val: v})
-	ch.mu.Unlock()
-	t.rt.stats.Suspensions.Add(1)
-	c.yield()
 }
 
 // Recv takes the next value, suspending (LatencyHiding) or blocking
-// (Blocking) while the channel is empty.
+// (Blocking) while the channel is empty. On a closed, drained channel it
+// returns the zero value; use RecvOK to distinguish.
 func (ch *Chan[T]) Recv(c *Ctx) T {
+	v, _ := ch.RecvOK(c)
+	return v
+}
+
+// RecvOK is Recv reporting whether the value was a real receive (true)
+// or the zero value from a closed, drained channel (false).
+func (ch *Chan[T]) RecvOK(c *Ctx) (T, bool) {
+	c.checkpoint()
 	if c.t.rt.cfg.Mode == Blocking {
-		return ch.recvBlocking(c)
+		return ch.recvOKBlocking(c)
 	}
+	var zero T
 	ch.mu.Lock()
 	if v, ok := ch.takeLocked(); ok {
 		ch.mu.Unlock()
-		return v
+		return v, true
 	}
-	// Empty: suspend until a sender hands a value over.
-	t := c.t
-	home := c.w.active
-	t.home = home
-	home.suspend()
-	var slot T
-	ch.recvq = append(ch.recvq, chanRecvWaiter[T]{t: t, slot: &slot})
+	if ch.closed {
+		ch.mu.Unlock()
+		return zero, false
+	}
 	ch.mu.Unlock()
-	t.rt.stats.Suspensions.Add(1)
-	c.yield()
-	return slot
+	// Empty: suspend until a sender hands a value over (or Close wakes
+	// us empty-handed).
+	c.injectFault(faultpoint.Suspend)
+	t := c.t
+	home := t.w.active
+	home.suspend()
+	ch.mu.Lock()
+	if v, ok := ch.takeLocked(); ok {
+		ch.mu.Unlock()
+		home.unsuspend()
+		return v, true
+	}
+	if ch.closed {
+		ch.mu.Unlock()
+		home.unsuspend()
+		return zero, false
+	}
+	wt := t.beginWait("chan-recv", home)
+	var slot T
+	var okv bool
+	ch.recvq = append(ch.recvq, chanRecvWaiter[T]{wt: wt, slot: &slot, ok: &okv})
+	ch.mu.Unlock()
+	abort := func(err error) {
+		ch.mu.Lock()
+		for i := range ch.recvq {
+			if ch.recvq[i].wt == wt {
+				ch.recvq = append(ch.recvq[:i], ch.recvq[i+1:]...)
+				break
+			}
+		}
+		ch.mu.Unlock()
+		wt.wake(err)
+	}
+	if err := c.scope.addWait(wt, abort); err != nil {
+		abort(err)
+	}
+	c.finishWait(wt)
+	return slot, okv
 }
 
 // TryRecv takes a value if one is buffered, without suspending.
@@ -128,9 +253,9 @@ func (ch *Chan[T]) takeLocked() (T, bool) {
 		s := ch.sendq[0]
 		ch.sendq = ch.sendq[1:]
 		ch.buf = append(ch.buf, s.val)
-		// Resume outside the lock is unnecessary: addResumed takes only
-		// the deque lock, which is never held while ch.mu is held.
-		s.t.home.addResumed(s.t)
+		// Wake under ch.mu is fine: deliver takes only leaf locks (the
+		// injector's, then the deque's), never ch.mu again.
+		s.wt.deliver(faultpoint.ChanWakeup)
 	}
 	return v, true
 }
@@ -143,31 +268,56 @@ func (ch *Chan[T]) takeLocked() (T, bool) {
 // rather than the worker.
 func (ch *Chan[T]) sendBlocking(v T) {
 	ch.mu.Lock()
+	if ch.closed {
+		ch.mu.Unlock()
+		panic("runtime: send on closed Chan")
+	}
 	ch.buf = append(ch.buf, v)
 	ch.cond.Broadcast()
 	ch.mu.Unlock()
 }
 
 //lhws:owner the receiving task holds its worker's owner role and lends it to tasks it runs inline
-func (ch *Chan[T]) recvBlocking(c *Ctx) T {
+func (ch *Chan[T]) recvOKBlocking(c *Ctx) (T, bool) {
+	var zero T
+	// Register a cancellation nudge: canceling the scope broadcasts the
+	// condition variable (under ch.mu, so the wait loop below cannot miss
+	// it between its check and cond.Wait).
+	key := new(int)
+	if err := c.scope.addWait(key, func(error) {
+		ch.mu.Lock()
+		ch.cond.Broadcast()
+		ch.mu.Unlock()
+	}); err != nil {
+		panic(cancelPanic{err: err})
+	}
+	defer c.scope.removeWait(key)
 	for {
 		ch.mu.Lock()
 		if len(ch.buf) > 0 {
 			v := ch.buf[0]
 			ch.buf = ch.buf[1:]
-			ch.cond.Broadcast()
 			ch.mu.Unlock()
-			return v
+			return v, true
+		}
+		if ch.closed {
+			ch.mu.Unlock()
+			return zero, false
 		}
 		ch.mu.Unlock()
+		c.checkpoint()
 		// Help: run a task from the worker's own deque (the producer may
 		// be queued right there); block only when nothing local remains.
-		if it, ok := c.w.active.q.PopBottom(); ok {
-			c.w.runTask(it.(*task))
+		if it, ok := c.t.w.active.q.PopBottom(); ok {
+			c.t.w.runTask(it.(*task))
 			continue
 		}
 		ch.mu.Lock()
-		if len(ch.buf) == 0 {
+		if len(ch.buf) == 0 && !ch.closed {
+			if err := c.scope.Err(); err != nil {
+				ch.mu.Unlock()
+				panic(cancelPanic{err: err})
+			}
 			ch.cond.Wait()
 		}
 		ch.mu.Unlock()

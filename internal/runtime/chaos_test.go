@@ -1,0 +1,202 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lhws/internal/faultpoint"
+)
+
+// chaosSeeds are the fixed seeds the chaos suite replays (make chaos).
+var chaosSeeds = []uint64{1, 7, 42}
+
+// chaosTasks and chaosWant parameterize the chaos workload: a fork-join
+// producer/consumer computation exercising every suspension path (Latency,
+// channel send with backpressure, channel receive, Await) whose result is
+// checkable.
+const chaosTasks = 24
+
+const chaosWant = chaosTasks * (chaosTasks + 1) / 2
+
+// chaosWorkload spawns chaosTasks producers that hide latency and push
+// through a bounded channel into a consumer; the root joins on the
+// consumer's sum. Returns the sum so callers can verify correctness.
+func chaosWorkload(c *Ctx) int {
+	ch := NewChan[int](4)
+	total := SpawnValue(c, func(cc *Ctx) int {
+		sum := 0
+		for i := 0; i < chaosTasks; i++ {
+			sum += ch.Recv(cc)
+		}
+		return sum
+	})
+	for i := 0; i < chaosTasks; i++ {
+		i := i
+		c.Spawn(func(cc *Ctx) {
+			cc.Latency(time.Millisecond)
+			ch.Send(cc, i+1)
+		})
+	}
+	return total.Await(c)
+}
+
+// chaosConfig bounds every chaos run: a run-wide deadline and the stall
+// watchdog guarantee termination no matter which wakeups the injector
+// loses, so a scenario either computes the right answer or returns a
+// typed error — never hangs.
+func chaosConfig(seed uint64, inj *faultpoint.Injector) Config {
+	return Config{
+		Workers:      4,
+		Mode:         LatencyHiding,
+		Seed:         seed,
+		Deadline:     30 * time.Second,
+		StallTimeout: 300 * time.Millisecond,
+		Faults:       inj,
+	}
+}
+
+// mustBeCorrect asserts the scenario cannot fail: the injected fault only
+// slows the schedule down (failed steals, delays, duplicate wakeups).
+func mustBeCorrect(t *testing.T, seed uint64, inj *faultpoint.Injector) {
+	t.Helper()
+	var got int
+	st, err := Run(chaosConfig(seed, inj), func(c *Ctx) { got = chaosWorkload(c) })
+	if err != nil {
+		t.Fatalf("seed %d: Run: %v (faults: %s)", seed, err, inj.Summary())
+	}
+	if got != chaosWant {
+		t.Fatalf("seed %d: sum = %d, want %d (faults: %s)", seed, got, chaosWant, inj.Summary())
+	}
+	if st.Stalled {
+		t.Fatalf("seed %d: watchdog fired on a recoverable fault", seed)
+	}
+}
+
+// correctOrTyped asserts the run either computes the right answer or
+// fails with one of the allowed typed errors — the lost-wakeup scenarios,
+// where the watchdog or deadline converts a would-be hang into a
+// diagnostic.
+func correctOrTyped(t *testing.T, seed uint64, inj *faultpoint.Injector, allowed ...error) {
+	t.Helper()
+	var got int
+	_, err := Run(chaosConfig(seed, inj), func(c *Ctx) { got = chaosWorkload(c) })
+	if err == nil {
+		if got != chaosWant {
+			t.Fatalf("seed %d: err nil but sum = %d, want %d (faults: %s)",
+				seed, got, chaosWant, inj.Summary())
+		}
+		return
+	}
+	for _, a := range allowed {
+		if errors.Is(err, a) {
+			return
+		}
+	}
+	t.Fatalf("seed %d: Run err = %v, want nil or one of %v (faults: %s)",
+		seed, err, allowed, inj.Summary())
+}
+
+// TestChaosStealFail fails 10% of steal attempts: pure slowdown, the
+// result must be exact.
+func TestChaosStealFail(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		inj := faultpoint.New(seed).Set(faultpoint.Steal, faultpoint.Rule{
+			Action: faultpoint.Fail, Rate: 0.10,
+		})
+		mustBeCorrect(t, seed, inj)
+	}
+}
+
+// TestChaosResumeDelay delays 20% of resume injections by 2ms: wakeups
+// arrive late but are never lost, so the result must be exact and the
+// watchdog must stay quiet (delayed wakes count as pending progress).
+func TestChaosResumeDelay(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		inj := faultpoint.New(seed).Set(faultpoint.ResumeInject, faultpoint.Rule{
+			Action: faultpoint.Delay, Rate: 0.20, Delay: 2 * time.Millisecond,
+		})
+		mustBeCorrect(t, seed, inj)
+	}
+}
+
+// TestChaosResumeDup duplicates 20% of resume injections 2ms apart: the
+// epoch claim must discard every duplicate, so the result is exact.
+func TestChaosResumeDup(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		inj := faultpoint.New(seed).Set(faultpoint.ResumeInject, faultpoint.Rule{
+			Action: faultpoint.Dup, Rate: 0.20, Delay: 2 * time.Millisecond,
+		})
+		mustBeCorrect(t, seed, inj)
+	}
+}
+
+// TestChaosChanDup duplicates 20% of channel wakeups: a duplicated
+// handoff must not deliver a value twice or re-inject a task twice.
+func TestChaosChanDup(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		inj := faultpoint.New(seed).Set(faultpoint.ChanWakeup, faultpoint.Rule{
+			Action: faultpoint.Dup, Rate: 0.20, Delay: time.Millisecond,
+		})
+		mustBeCorrect(t, seed, inj)
+	}
+}
+
+// TestChaosSuspendDelay jitters 10% of suspension entries by 2ms,
+// widening the suspend/wakeup race window the epoch claim closes.
+func TestChaosSuspendDelay(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		inj := faultpoint.New(seed).Set(faultpoint.Suspend, faultpoint.Rule{
+			Action: faultpoint.Delay, Rate: 0.10, Delay: 2 * time.Millisecond,
+		})
+		mustBeCorrect(t, seed, inj)
+	}
+}
+
+// TestChaosResumeDrop loses 5% of resume injections: lost wakeups must
+// surface as a watchdog stall (or the run-wide deadline), never a hang.
+func TestChaosResumeDrop(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		inj := faultpoint.New(seed).Set(faultpoint.ResumeInject, faultpoint.Rule{
+			Action: faultpoint.Drop, Rate: 0.05,
+		})
+		correctOrTyped(t, seed, inj, ErrStalled, ErrDeadline)
+	}
+}
+
+// TestChaosChanDrop loses 5% of channel wakeups: dropped handoffs strand
+// a receiver or sender; the watchdog must name the stuck site.
+func TestChaosChanDrop(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		inj := faultpoint.New(seed).Set(faultpoint.ChanWakeup, faultpoint.Rule{
+			Action: faultpoint.Drop, Rate: 0.05,
+		})
+		correctOrTyped(t, seed, inj, ErrStalled, ErrDeadline)
+	}
+}
+
+// TestChaosTaskPanic panics 2% of task bodies: the run must fail with
+// ErrTaskPanic (or finish exactly right when no panic fired), with
+// suspended siblings aborted rather than leaked.
+func TestChaosTaskPanic(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		inj := faultpoint.New(seed).Set(faultpoint.TaskBody, faultpoint.Rule{
+			Action: faultpoint.Panic, Rate: 0.02,
+		})
+		correctOrTyped(t, seed, inj, ErrTaskPanic)
+	}
+}
+
+// TestChaosCombined arms several fault points at once — failed steals,
+// delayed resumes, duplicated channel wakeups, and rare task panics —
+// and still demands a correct result or a typed error.
+func TestChaosCombined(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		inj := faultpoint.New(seed).
+			Set(faultpoint.Steal, faultpoint.Rule{Action: faultpoint.Fail, Rate: 0.05}).
+			Set(faultpoint.ResumeInject, faultpoint.Rule{Action: faultpoint.Delay, Rate: 0.10, Delay: time.Millisecond}).
+			Set(faultpoint.ChanWakeup, faultpoint.Rule{Action: faultpoint.Dup, Rate: 0.10, Delay: time.Millisecond}).
+			Set(faultpoint.TaskBody, faultpoint.Rule{Action: faultpoint.Panic, Rate: 0.01})
+		correctOrTyped(t, seed, inj, ErrTaskPanic)
+	}
+}

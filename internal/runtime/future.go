@@ -1,13 +1,18 @@
 package runtime
 
-import "sync"
+import (
+	"sync"
+
+	"lhws/internal/faultpoint"
+)
 
 // Future is the completion handle of a spawned task.
 type Future struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	done    bool
-	waiters []*task // suspended tasks to resume on completion (LHWS mode)
+	err     error     // the child's outcome: nil, cancellation cause, or wrapped panic
+	waiters []*waiter // suspended tasks to resume on completion (LHWS mode)
 }
 
 func newFuture() *Future {
@@ -16,17 +21,23 @@ func newFuture() *Future {
 	return f
 }
 
-// complete marks the future done, resumes suspended waiters (latency-hiding
-// mode), and wakes blocked workers (blocking mode).
-func (f *Future) complete() {
+// complete marks the future done with the child's outcome, resumes
+// suspended waiters (latency-hiding mode), and wakes blocked workers
+// (blocking mode).
+func (f *Future) complete(err error) {
 	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		return
+	}
 	f.done = true
+	f.err = err
 	waiters := f.waiters
 	f.waiters = nil
 	f.cond.Broadcast()
 	f.mu.Unlock()
-	for _, t := range waiters {
-		t.home.addResumed(t)
+	for _, wt := range waiters {
+		wt.deliver(faultpoint.ResumeInject)
 	}
 }
 
@@ -37,7 +48,19 @@ func (f *Future) Done() bool {
 	return f.done
 }
 
-// Await blocks the calling task until the spawned task completes.
+// Err returns the child's outcome once the future has completed: nil on
+// success, ErrCanceled/ErrDeadline (possibly via a derived scope) if the
+// child was unwound by cancellation, or an ErrTaskPanic-wrapped error if
+// it panicked. Before completion Err returns nil; call it after Await,
+// or use AwaitErr.
+func (f *Future) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Await blocks the calling task until the spawned task completes,
+// discarding the child's error (retrieve it with Err, or use AwaitErr).
 //
 // In LatencyHiding mode, an Await on an incomplete future suspends the
 // task exactly like a latency operation: the task is paired with the
@@ -48,54 +71,93 @@ func (f *Future) Done() bool {
 // blocking work-stealing runtimes; without it a single worker would
 // deadlock on its own children) — and blocks on a condition variable once
 // no local work remains.
-func (f *Future) Await(c *Ctx) {
+//
+// If the calling task's scope is canceled, Await unwinds it — before
+// suspending, or early out of the wait.
+func (f *Future) Await(c *Ctx) { _ = f.AwaitErr(c) }
+
+// AwaitErr is Await returning the child's outcome: nil on success, or
+// the error the child failed with (cancellation cause or wrapped panic).
+func (f *Future) AwaitErr(c *Ctx) error {
+	c.checkpoint()
 	if c.t.rt.cfg.Mode == Blocking {
-		f.awaitBlocking(c)
-		return
+		return f.awaitBlocking(c)
 	}
+	c.injectFault(faultpoint.Suspend)
 	t := c.t
-	home := c.w.active
+	home := c.t.w.active
 	// Order matters: make the suspension visible on the deque before
 	// registering as a waiter, so a completion racing with this Await sees
-	// a consistent counter when it fires addResumed.
+	// a consistent counter when it fires the resume.
 	home.suspend()
 	f.mu.Lock()
 	if f.done {
+		err := f.err
 		f.mu.Unlock()
-		home.mu.Lock()
-		home.suspendCtr--
-		home.mu.Unlock()
-		return
+		home.unsuspend()
+		return err
 	}
-	t.home = home
-	f.waiters = append(f.waiters, t)
+	wt := t.beginWait("await", home)
+	f.waiters = append(f.waiters, wt)
 	f.mu.Unlock()
-	t.rt.stats.Suspensions.Add(1)
-	c.yield()
+	abort := func(err error) {
+		f.mu.Lock()
+		for i, w := range f.waiters {
+			if w == wt {
+				f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+				break
+			}
+		}
+		f.mu.Unlock()
+		wt.wake(err)
+	}
+	if err := c.scope.addWait(wt, abort); err != nil {
+		abort(err)
+	}
+	c.finishWait(wt)
+	return f.Err()
 }
 
 //lhws:owner the awaiting task holds its worker's owner role and lends it to tasks it runs inline
-func (f *Future) awaitBlocking(c *Ctx) {
+func (f *Future) awaitBlocking(c *Ctx) error {
+	// Register a cancellation nudge: canceling the scope broadcasts the
+	// condition variable (under f.mu, so the wait loop below cannot miss
+	// it between its check and cond.Wait).
+	key := new(int)
+	if err := c.scope.addWait(key, func(error) {
+		f.mu.Lock()
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	}); err != nil {
+		panic(cancelPanic{err: err})
+	}
+	defer c.scope.removeWait(key)
 	for {
 		if f.Done() {
-			return
+			return f.Err()
 		}
+		c.checkpoint()
 		// Help: run tasks from the worker's own deque inline. The awaiting
 		// task holds the worker's owner role, so it may pop and grant the
 		// role to a sub-task for the duration of the inline run.
-		if it, ok := c.w.active.q.PopBottom(); ok {
-			c.w.runTask(it.(*task))
+		if it, ok := c.t.w.active.q.PopBottom(); ok {
+			c.t.w.runTask(it.(*task))
 			continue
 		}
-		// Nothing local: block until completion. Work available elsewhere
-		// stays available to other workers — this worker is blocked, which
-		// is precisely the baseline's cost.
+		// Nothing local: block until completion or cancellation. Work
+		// available elsewhere stays available to other workers — this
+		// worker is blocked, which is precisely the baseline's cost.
 		f.mu.Lock()
 		for !f.done {
+			if err := c.scope.Err(); err != nil {
+				f.mu.Unlock()
+				panic(cancelPanic{err: err})
+			}
 			f.cond.Wait()
 		}
+		err := f.err
 		f.mu.Unlock()
-		return
+		return err
 	}
 }
 
@@ -113,11 +175,26 @@ func SpawnValue[T any](c *Ctx, f func(*Ctx) T) *Value[T] {
 	return v
 }
 
-// Await blocks until the child completes and returns its result.
+// Await blocks until the child completes and returns its result. If the
+// child failed (panic or cancellation) the zero value is returned; use
+// AwaitErr to distinguish.
 func (v *Value[T]) Await(c *Ctx) T {
 	v.fut.Await(c)
 	return v.v
 }
 
+// AwaitErr blocks until the child completes and returns its result, or
+// the error it failed with (in which case the result is the zero value).
+func (v *Value[T]) AwaitErr(c *Ctx) (T, error) {
+	if err := v.fut.AwaitErr(c); err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.v, nil
+}
+
 // Done reports whether the result is available.
 func (v *Value[T]) Done() bool { return v.fut.Done() }
+
+// Err returns the child's outcome once complete; see Future.Err.
+func (v *Value[T]) Err() error { return v.fut.Err() }

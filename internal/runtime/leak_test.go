@@ -1,0 +1,91 @@
+package runtime
+
+import (
+	"errors"
+	goruntime "runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the process goroutine count drops to at
+// most want, tolerating stragglers (timer goroutines, the runtime's own
+// background workers) that need a beat to exit.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		goruntime.GC() // finalize dead timers promptly
+		n := goruntime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:goruntime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d running, want <= %d\n%s", n, want, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// A panicking run must not leak the goroutines of tasks that were
+// suspended when the panic struck: the fatal path aborts their waits so
+// every task goroutine unwinds before Run returns.
+func TestNoGoroutineLeakAfterPanic(t *testing.T) {
+	base := goruntime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		_, err := Run(Config{Workers: 4}, func(c *Ctx) {
+			ch := NewChan[int](0)
+			for j := 0; j < 4; j++ {
+				c.Spawn(func(c2 *Ctx) { ch.Recv(c2) }) // suspended forever
+			}
+			for j := 0; j < 4; j++ {
+				c.Spawn(func(c2 *Ctx) { c2.Latency(time.Hour) })
+			}
+			c.Latency(2 * time.Millisecond)
+			panic("boom")
+		})
+		if !errors.Is(err, ErrTaskPanic) {
+			t.Fatalf("Run err = %v, want ErrTaskPanic", err)
+		}
+	}
+	// Allow a small cushion over the baseline for unrelated runtime
+	// housekeeping; a real leak here is 8+ task goroutines per iteration.
+	waitGoroutines(t, base+3)
+}
+
+// Blocking mode reaches the same guarantee through the condition-variable
+// abort path: receivers blocked inside cond.Wait are nudged out.
+func TestNoGoroutineLeakAfterPanicBlocking(t *testing.T) {
+	base := goruntime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		_, err := Run(Config{Workers: 4, Mode: Blocking}, func(c *Ctx) {
+			ch := NewChan[int](0)
+			for j := 0; j < 3; j++ {
+				c.Spawn(func(c2 *Ctx) { ch.Recv(c2) }) // blocks a worker each
+			}
+			c.Latency(5 * time.Millisecond) // let receivers park first
+			panic("boom")
+		})
+		if !errors.Is(err, ErrTaskPanic) {
+			t.Fatalf("Run err = %v, want ErrTaskPanic", err)
+		}
+	}
+	waitGoroutines(t, base+3)
+}
+
+// A watchdog-recovered stall must likewise drain every task goroutine.
+func TestNoGoroutineLeakAfterStall(t *testing.T) {
+	base := goruntime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		_, err := Run(Config{Workers: 2, StallTimeout: 50 * time.Millisecond}, func(c *Ctx) {
+			ch := NewChan[int](0)
+			fut := c.Spawn(func(c2 *Ctx) { ch.Recv(c2) }) // deadlock
+			fut.Await(c)
+		})
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("Run err = %v, want ErrStalled", err)
+		}
+	}
+	waitGoroutines(t, base+3)
+}

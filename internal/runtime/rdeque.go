@@ -37,6 +37,27 @@ func (d *rdeque) suspend() {
 	d.mu.Unlock()
 }
 
+// unsuspend reverses a suspend that never committed — the fast path of an
+// Await that found the future already done after marking the suspension.
+//
+//lhws:nonblocking
+func (d *rdeque) unsuspend() {
+	d.mu.Lock() //lhws:allowblock leaf mutex with O(1) critical section, never held across a wait
+	d.suspendCtr--
+	d.mu.Unlock()
+}
+
+// snapshot reads the suspension counter and pending-resume count for
+// watchdog diagnostics.
+//
+//lhws:nonblocking
+func (d *rdeque) snapshot() (suspended, resumed int) {
+	d.mu.Lock() //lhws:allowblock leaf mutex with O(1) critical section, never held across a wait
+	suspended, resumed = d.suspendCtr, len(d.resumed)
+	d.mu.Unlock()
+	return
+}
+
 // addResumed is the resume callback (Figure 3, lines 1-5): called by timer
 // or future-completion goroutines when a suspended task becomes runnable
 // again. It appends the task to the deque's resumed set and registers the

@@ -29,6 +29,28 @@
 // every scheduling point. This is the standard way to build a user-level
 // scheduler above the Go runtime, which does not expose its own scheduler
 // for replacement.
+//
+// On top of the scheduler sits a resilience layer:
+//
+//   - Cancellation and deadlines: Ctx.WithCancel / Ctx.WithDeadline derive
+//     cancelable subtrees; Config.Deadline bounds the whole run.
+//     Cancellation unwinds tasks cooperatively at scheduling points and
+//     aborts suspended waits so it never depends on a wakeup arriving.
+//
+//   - Unified error path: task panics, cancellations, deadlines, and
+//     watchdog stalls all flow through one first-error-wins channel; Run
+//     returns the first fatal error (ErrTaskPanic, ErrCanceled,
+//     ErrDeadline, or a *StallError) and records the rest in Stats.
+//
+//   - Suspension watchdog: with Config.StallTimeout set, a monitor
+//     goroutine detects lost-wakeup / deadlock conditions — live tasks, no
+//     running work, no pending wakeups — and converts the would-be hang
+//     into a structured *StallError diagnostic (see watchdog.go).
+//
+//   - Fault injection: Config.Faults wires an internal/faultpoint.Injector
+//     into the scheduler hot paths (steals, suspensions, resume injection,
+//     channel wakeups, task bodies) for chaos testing; nil costs one
+//     pointer check per fault point.
 package runtime
 
 import (
@@ -38,6 +60,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lhws/internal/faultpoint"
 	"lhws/internal/rng"
 )
 
@@ -72,6 +95,23 @@ type Config struct {
 	// executions are not bit-reproducible, but seeding keeps victim
 	// sequences stable.
 	Seed uint64
+	// Deadline, when positive, bounds the whole run: if it elapses the
+	// root scope is canceled, every task unwinds, and Run returns
+	// ErrDeadline.
+	Deadline time.Duration
+	// StallTimeout, when positive, arms the suspension watchdog: if no
+	// task makes progress for this long while live tasks remain and no
+	// wakeup is pending, the run is canceled and Run returns a
+	// *StallError naming the stuck suspensions. Zero disables the
+	// watchdog. The watchdog observes latency-hiding suspensions;
+	// Blocking-mode waits hold their worker inside a task and are
+	// deliberately out of scope.
+	StallTimeout time.Duration
+	// Faults, when non-nil, injects scheduler faults for chaos testing;
+	// see lhws/internal/faultpoint. Runs with dropped wakeups should
+	// also set StallTimeout (or Deadline) so lost wakeups surface as
+	// typed errors instead of hangs.
+	Faults *faultpoint.Injector
 }
 
 // Stats reports counters from one execution. All counts are totals across
@@ -79,11 +119,15 @@ type Config struct {
 type Stats struct {
 	TasksRun           int64         // task run slices (resumptions included)
 	TasksSpawned       int64         // tasks created
-	Suspensions        int64         // task suspensions (latency + await)
+	TasksCanceled      int64         // tasks unwound by cancellation, deadline, or stall
+	TasksPanicked      int64         // tasks that panicked
+	Suspensions        int64         // task suspensions (latency + await + channels)
 	Switches           int64         // deque switches
 	StealAttempts      int64         // steal attempts
 	Steals             int64         // successful steals
 	MaxDequesPerWorker int32         // high-water mark of live deques on one worker
+	Stalled            bool          // the suspension watchdog fired
+	SuppressedErrors   []string      // fatal errors after the first (first-error-wins)
 	Wall               time.Duration // wall-clock duration of Run
 }
 
@@ -94,24 +138,47 @@ var ErrConfig = errors.New("runtime: invalid config")
 // panic value formatted into the message.
 var ErrTaskPanic = errors.New("runtime: task panicked")
 
+// maxSuppressedErrors bounds the Stats.SuppressedErrors record.
+const maxSuppressedErrors = 16
+
 // Run executes root (and everything it spawns) to completion on a fresh
 // worker pool and returns execution statistics.
+//
+// Run fails with a typed error when the execution does: ErrTaskPanic for
+// the first task panic (the panic value formatted in), ErrCanceled /
+// ErrDeadline when the root scope is canceled or Config.Deadline elapses,
+// and a *StallError when the suspension watchdog detects a lost wakeup or
+// deadlock. Whatever the cause, the error path is the same: the root
+// scope is canceled, suspended tasks are aborted and unwound, and Run
+// returns only after every task has finished — no worker or task
+// goroutines are leaked. Later fatal errors are recorded in
+// Stats.SuppressedErrors. Stats are returned even when err is non-nil.
 func Run(cfg Config, root func(*Ctx)) (*Stats, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("%w: Workers must be >= 1, got %d", ErrConfig, cfg.Workers)
 	}
 	rt := &runtimeState{cfg: cfg, done: make(chan struct{})}
+	rt.root = newCancelScope(rt, nil)
 	seeds := rng.New(cfg.Seed)
 	rt.workers = make([]*worker, cfg.Workers)
 	for i := range rt.workers {
 		rt.workers[i] = newWorker(rt, i, seeds.Split())
 	}
 
-	rootTask := newTask(rt, func(c *Ctx) { root(c) })
+	rootTask := newTask(rt, root)
+	rootTask.scope = rt.root
 	rt.liveTasks.Add(1)
 	rt.stats.TasksSpawned.Add(1)
 	w0 := rt.workers[0]
 	w0.assigned = rootTask
+
+	if cfg.Deadline > 0 {
+		rt.root.setDeadline(cfg.Deadline)
+	}
+	watchStop := make(chan struct{})
+	if cfg.StallTimeout > 0 {
+		go rt.watchdog(watchStop)
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -124,56 +191,89 @@ func Run(cfg Config, root func(*Ctx)) (*Stats, error) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	close(watchStop)
+	rt.root.release()
 
-	rt.panicMu.Lock()
-	panicked, panicVal := rt.panicked, rt.panicVal
-	rt.panicMu.Unlock()
-	if panicked {
-		return nil, fmt.Errorf("%w: %v", ErrTaskPanic, panicVal)
+	rt.errMu.Lock()
+	err := rt.firstErr
+	suppressed := append([]string(nil), rt.suppressed...)
+	rt.errMu.Unlock()
+	if err == nil {
+		// No run-wide fatal error: surface the root task's own outcome
+		// (e.g. the root unwound under a derived deadline).
+		err = rootTask.err
 	}
 
 	st := &Stats{
 		TasksRun:           rt.stats.TasksRun.Load(),
 		TasksSpawned:       rt.stats.TasksSpawned.Load(),
+		TasksCanceled:      rt.stats.TasksCanceled.Load(),
+		TasksPanicked:      rt.stats.TasksPanicked.Load(),
 		Suspensions:        rt.stats.Suspensions.Load(),
 		Switches:           rt.stats.Switches.Load(),
 		StealAttempts:      rt.stats.StealAttempts.Load(),
 		Steals:             rt.stats.Steals.Load(),
 		MaxDequesPerWorker: rt.stats.MaxDeques.Load(),
+		Stalled:            rt.stalled.Load(),
+		SuppressedErrors:   suppressed,
 		Wall:               wall,
 	}
-	return st, nil
+	return st, err
 }
 
 // runtimeState is the shared state of one Run invocation.
 type runtimeState struct {
 	cfg       Config
 	workers   []*worker
+	root      *cancelScope
 	liveTasks atomic.Int64
-	done      chan struct{}
-	doneOnce  sync.Once
-	stats     atomicStats
+	// running counts workers currently granting their slot to a task;
+	// the watchdog reads it to tell "quiet" from "stalled".
+	running atomic.Int64
+	// pendingWakes counts wakeups that are scheduled but not yet
+	// delivered (armed Latency timers, fault-delayed re-injections): a
+	// run with pending wakes is waiting, not stalled.
+	pendingWakes atomic.Int64
+	stalled      atomic.Bool
+	done         chan struct{}
+	doneOnce     sync.Once
+	stats        atomicStats
+	susReg       suspendRegistry
 
-	panicMu  sync.Mutex
-	panicVal any
-	panicked bool
+	errMu      sync.Mutex
+	firstErr   error
+	suppressed []string
 }
 
-// recordPanic stores the first task panic and forces shutdown so Run can
-// return it as an error.
-func (rt *runtimeState) recordPanic(v any) {
-	rt.panicMu.Lock()
-	if !rt.panicked {
-		rt.panicked = true
-		rt.panicVal = v
+// noteFatal records a run-fatal error: the first one wins and becomes
+// Run's return value, later ones are kept (bounded) for Stats. The same
+// error value arriving twice — e.g. recordFatal's cancel echoing back
+// through the root-scope hook — is recorded once.
+func (rt *runtimeState) noteFatal(err error) {
+	rt.errMu.Lock()
+	switch {
+	case rt.firstErr == nil:
+		rt.firstErr = err
+	case rt.firstErr != err && len(rt.suppressed) < maxSuppressedErrors:
+		rt.suppressed = append(rt.suppressed, err.Error())
 	}
-	rt.panicMu.Unlock()
-	rt.doneOnce.Do(func() { close(rt.done) })
+	rt.errMu.Unlock()
+}
+
+// recordFatal is the unified failure path for panics and run-level
+// faults: record the error, then cancel the root scope so every task —
+// running, queued, or suspended — unwinds and the run drains cleanly
+// instead of leaking goroutines.
+func (rt *runtimeState) recordFatal(err error) {
+	rt.noteFatal(err)
+	rt.root.cancel(err)
 }
 
 type atomicStats struct {
 	TasksRun      atomic.Int64
 	TasksSpawned  atomic.Int64
+	TasksCanceled atomic.Int64
+	TasksPanicked atomic.Int64
 	Suspensions   atomic.Int64
 	Switches      atomic.Int64
 	StealAttempts atomic.Int64
@@ -200,4 +300,17 @@ func (rt *runtimeState) finished() bool {
 	default:
 		return false
 	}
+}
+
+// failSteal consults the fault injector's steal point. One nil check
+// when chaos is off; the Decide call itself takes only a leaf mutex.
+//
+//lhws:nonblocking
+func (rt *runtimeState) failSteal() bool {
+	inj := rt.cfg.Faults
+	if inj == nil {
+		return false
+	}
+	act, _ := inj.Decide(faultpoint.Steal)
+	return act == faultpoint.Fail
 }

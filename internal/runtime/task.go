@@ -1,6 +1,12 @@
 package runtime
 
-import "time"
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"lhws/internal/faultpoint"
+)
 
 // reportKind is what a task tells its current worker when control returns
 // to the worker loop.
@@ -23,6 +29,20 @@ type task struct {
 	report  chan reportKind // task → scheduler: done or suspended
 	started bool            // goroutine launched (owner-role access only)
 	home    *rdeque         // deque the task belongs to while suspended
+	w       *worker         // current worker; task-goroutine access only
+	scope   *cancelScope    // cancellation scope the task was spawned under
+	fut     *Future         // completion future (nil for the root task)
+
+	// epoch is the suspension epoch: odd while a suspension is open,
+	// advanced by beginWait and by the (unique) claiming wakeup. See
+	// waiter.
+	epoch atomic.Uint64
+	// wakeErr is set by the claiming waker before re-injection when the
+	// wake is a cancellation abort; the resume handoff publishes it.
+	wakeErr error
+	// err is the task's outcome, written by its own goroutine before the
+	// final report: nil, a cancellation cause, or a wrapped panic.
+	err error
 }
 
 func newTask(rt *runtimeState, fn func(*Ctx)) *task {
@@ -36,55 +56,73 @@ func newTask(rt *runtimeState, fn func(*Ctx)) *task {
 
 // main is the task goroutine body: wait for the first grant, run the user
 // function, then report completion. A panic in the user function is
-// recorded on the runtime (surfaced as Run's error) instead of crashing
-// the process; the task still reports done so its worker continues, and
-// its future still completes (Spawn arranges that) so joins unwind.
+// recorded as the run's fatal error (surfaced from Run) and unified with
+// cancellation: it cancels the root scope so every other task unwinds and
+// the run drains instead of hanging or leaking goroutines. A cancelPanic —
+// the cooperative-cancellation unwind — becomes the task's error without
+// being fatal to the run. Either way the task's future completes (with the
+// error) so joins unwind, and the task reports done so its worker
+// continues.
 func (t *task) main() {
 	w := <-t.resume
-	c := &Ctx{w: w, t: t}
+	t.w = w
+	c := &Ctx{t: t, scope: t.scope}
 	defer func() {
 		if r := recover(); r != nil {
-			t.rt.recordPanic(r)
+			if cp, ok := r.(cancelPanic); ok {
+				t.err = cp.err
+				t.rt.stats.TasksCanceled.Add(1)
+			} else {
+				t.err = fmt.Errorf("%w: %v", ErrTaskPanic, r)
+				t.rt.stats.TasksPanicked.Add(1)
+				t.rt.recordFatal(t.err)
+			}
+		}
+		if t.fut != nil {
+			t.fut.complete(t.err)
 		}
 		t.rt.taskDone()
 		t.report <- reportDone
 	}()
+	if inj := t.rt.cfg.Faults; inj != nil {
+		inj.Inject(faultpoint.TaskBody)
+	}
 	t.fn(c)
 }
 
 // Ctx is a task's handle to the runtime: the capability to spawn, await,
-// and perform latency operations. A Ctx is only valid within the task it
-// was passed to; nested tasks receive their own Ctx.
+// perform latency operations, and manage cancellation. A Ctx is only valid
+// within the task it was passed to; nested tasks receive their own Ctx.
+// Derived contexts (WithCancel, WithDeadline) share the task and may be
+// used interchangeably with their parent within it.
 type Ctx struct {
-	w *worker
-	t *task
+	t     *task
+	scope *cancelScope
 }
 
 // Worker returns the index of the worker currently running the task
 // (useful for instrumentation; it may change across suspension points).
-func (c *Ctx) Worker() int { return c.w.id }
+func (c *Ctx) Worker() int { return c.t.w.id }
 
 // Spawn creates a child task executing f and makes it available for
 // parallel execution by pushing it onto the bottom of the current active
 // deque. The parent continues running (spawn is non-preemptive: the
 // continuation keeps the worker, per §3). The returned Future completes
-// when the child finishes.
+// when the child finishes; if the child panics or is canceled, the
+// Future's Err records why. The child inherits c's cancellation scope.
 //
 //lhws:owner a running task holds its worker's owner role between resume and report (see task)
 func (c *Ctx) Spawn(f func(*Ctx)) *Future {
+	c.checkpoint()
 	fut := newFuture()
-	child := newTask(c.t.rt, func(cc *Ctx) {
-		// Complete even if f panics, so tasks awaiting this child unwind
-		// instead of waiting forever; the panic itself is recorded by
-		// task.main and returned from Run.
-		defer fut.complete()
-		f(cc)
-	})
+	child := newTask(c.t.rt, f)
+	child.scope = c.scope
+	child.fut = fut
 	c.t.rt.liveTasks.Add(1)
 	c.t.rt.stats.TasksSpawned.Add(1)
 	// The running task holds the owner role of its worker, so pushing onto
 	// the active deque is owner-side and safe.
-	c.w.active.q.PushBottom(child)
+	c.t.w.active.q.PushBottom(child)
 	return fut
 }
 
@@ -95,18 +133,38 @@ func (c *Ctx) Spawn(f func(*Ctx)) *Future {
 // its deque when d elapses and the worker immediately schedules other
 // work. In Blocking mode the worker sleeps for the full duration — the
 // baseline behaviour the paper's evaluation compares against.
+//
+// If the task's scope is canceled, Latency unwinds the task — before
+// suspending, or early out of the wait (the timer is stopped).
 func (c *Ctx) Latency(d time.Duration) {
+	c.checkpoint()
 	if c.t.rt.cfg.Mode == Blocking {
 		time.Sleep(d)
 		return
 	}
+	c.injectFault(faultpoint.Suspend)
 	t := c.t
-	t.rt.stats.Suspensions.Add(1)
-	home := c.w.active
-	t.home = home
+	home := c.t.w.active
 	home.suspend()
-	time.AfterFunc(d, func() { home.addResumed(t) })
-	c.yield()
+	wt := t.beginWait("latency", home)
+	t.rt.pendingWakes.Add(1)
+	wt.timer = time.AfterFunc(d, func() {
+		defer t.rt.pendingWakes.Add(-1)
+		wt.deliver(faultpoint.ResumeInject)
+	})
+	if err := c.scope.addWait(wt, wt.abort); err != nil {
+		wt.abort(err)
+	}
+	c.finishWait(wt)
+}
+
+// injectFault runs the task-side fault point p (it may sleep or panic);
+// a single nil check when chaos is off. Task-side only — never called
+// from the worker loop.
+func (c *Ctx) injectFault(p faultpoint.Point) {
+	if inj := c.t.rt.cfg.Faults; inj != nil {
+		inj.Inject(p)
+	}
 }
 
 // yield returns control to the worker loop, reporting suspension, and
@@ -114,5 +172,5 @@ func (c *Ctx) Latency(d time.Duration) {
 // resuming worker.
 func (c *Ctx) yield() {
 	c.t.report <- reportSuspended
-	c.w = <-c.t.resume
+	c.t.w = <-c.t.resume
 }

@@ -1,0 +1,144 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"lhws/internal/faultpoint"
+)
+
+// waiter represents one suspension of one task: a claimable wakeup
+// token. Wakeups for a suspended task can arrive from several
+// goroutines — the Latency timer, a channel peer, a future completion,
+// a cancellation abort, and (under fault injection) duplicates of any
+// of those. Exactly one of them may re-inject the task; the rest must
+// be no-ops. The claim is a CAS on the task's suspension epoch: the
+// epoch captured at suspension time is only valid until someone
+// advances it, so duplicated or stale wakeups — including a delayed
+// duplicate arriving after the task has already suspended again
+// elsewhere — fail the CAS and fall away harmlessly.
+type waiter struct {
+	t     *task
+	epoch uint64
+	home  *rdeque
+	timer *time.Timer // pending Latency timer, stopped on abort
+}
+
+// beginWait opens a suspension: it advances the task's epoch (odd =
+// waiting), pins the home deque for the resume, and records the
+// suspension in the runtime's registry for watchdog diagnostics. It
+// runs task-side, before the waiter is published to any wakeup source.
+// The caller has already called home.suspend().
+func (t *task) beginWait(site string, home *rdeque) *waiter {
+	t.home = home
+	e := t.epoch.Add(1)
+	wt := &waiter{t: t, epoch: e, home: home}
+	t.rt.noteSuspend(t, site, t.w.id, home)
+	t.rt.stats.Suspensions.Add(1)
+	return wt
+}
+
+// wake claims the suspension and re-injects the task onto its deque's
+// resumed set. abortErr non-nil marks a cancellation wake: the task
+// will unwind with that error instead of continuing its operation.
+// Returns false if another wakeup already claimed this suspension.
+func (wt *waiter) wake(abortErr error) bool {
+	t := wt.t
+	if !t.epoch.CompareAndSwap(wt.epoch, wt.epoch+1) {
+		return false
+	}
+	// The claim is won: this goroutine is the unique resumer. Writes
+	// below are published to the task by the resume handoff chain
+	// (deque mutex, then the task's resume channel).
+	t.wakeErr = abortErr
+	t.rt.dropSuspend(t)
+	wt.home.addResumed(t)
+	return true
+}
+
+// abort is the cancellation wake: it stops a pending Latency timer
+// (reclaiming its pending-wake accounting) and wakes the task with err.
+func (wt *waiter) abort(err error) {
+	if wt.timer != nil && wt.timer.Stop() {
+		wt.t.rt.pendingWakes.Add(-1)
+	}
+	wt.wake(err)
+}
+
+// deliver passes a normal wakeup through the configured fault injector:
+// Drop loses it, Delay defers it, Dup delivers it twice. Aborts bypass
+// deliver entirely so cancellation and watchdog recovery stay reliable
+// even under 100% fault rates.
+func (wt *waiter) deliver(p faultpoint.Point) {
+	rt := wt.t.rt
+	inj := rt.cfg.Faults
+	if inj == nil {
+		wt.wake(nil)
+		return
+	}
+	switch act, d := inj.Decide(p); act {
+	case faultpoint.Drop:
+		// Lost wakeup: the task stays suspended until the watchdog or a
+		// cancellation aborts it.
+	case faultpoint.Delay:
+		rt.pendingWakes.Add(1)
+		time.AfterFunc(d, func() {
+			defer rt.pendingWakes.Add(-1)
+			wt.wake(nil)
+		})
+	case faultpoint.Dup:
+		wt.wake(nil)
+		rt.pendingWakes.Add(1)
+		time.AfterFunc(d, func() {
+			defer rt.pendingWakes.Add(-1)
+			wt.wake(nil) // stale epoch: discarded by the claim CAS
+		})
+	default:
+		wt.wake(nil)
+	}
+}
+
+// finishWait yields to the worker loop and, once resumed, deregisters
+// the wait from the scope and unwinds if the wake was an abort.
+func (c *Ctx) finishWait(wt *waiter) {
+	c.yield()
+	c.scope.removeWait(wt)
+	if err := c.t.wakeErr; err != nil {
+		c.t.wakeErr = nil
+		panic(cancelPanic{err: err})
+	}
+}
+
+// suspendInfo is the watchdog's view of one outstanding suspension.
+// worker and home are captured task-side at suspension time so the
+// watchdog never reads task fields concurrently with the task.
+type suspendInfo struct {
+	site   string
+	since  time.Time
+	worker int
+	home   *rdeque
+}
+
+// suspendRegistry tracks every outstanding suspension for stall
+// diagnostics. The map is touched once on suspend and once on wake —
+// suspensions already pay for timer or queue bookkeeping, so the extra
+// leaf mutex is noise next to the latency being hidden.
+type suspendRegistry struct {
+	mu sync.Mutex
+	m  map[*task]suspendInfo
+}
+
+func (rt *runtimeState) noteSuspend(t *task, site string, worker int, home *rdeque) {
+	rt.susReg.mu.Lock()
+	if rt.susReg.m == nil {
+		rt.susReg.m = make(map[*task]suspendInfo)
+	}
+	rt.susReg.m[t] = suspendInfo{site: site, since: time.Now(), worker: worker, home: home}
+	rt.susReg.mu.Unlock()
+}
+
+func (rt *runtimeState) dropSuspend(t *task) {
+	rt.susReg.mu.Lock()
+	delete(rt.susReg.m, t)
+	rt.susReg.mu.Unlock()
+}

@@ -1,0 +1,148 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ErrStalled reports that the suspension watchdog detected a
+// no-progress interval: live tasks remained, no worker was running
+// anything, and no wakeup was pending. Errors returned for stalls are
+// *StallError values wrapping ErrStalled.
+var ErrStalled = errors.New("runtime: stalled (suspended tasks with no pending wakeup)")
+
+// StallWait describes one suspension outstanding at stall time.
+type StallWait struct {
+	// Site names the suspending operation: "latency", "await",
+	// "chan-recv", or "chan-send".
+	Site string
+	// Age is how long the task had been suspended when the stall was
+	// declared.
+	Age time.Duration
+	// Worker is the worker that owned the task's deque at suspension.
+	Worker int
+	// DequeLen is the number of runnable tasks on the owning deque.
+	DequeLen int
+	// DequeSuspended is the owning deque's suspension counter (Table 1).
+	DequeSuspended int
+	// DequeResumed is the number of tasks re-injected onto the owning
+	// deque but not yet drained by its owner.
+	DequeResumed int
+}
+
+func (w StallWait) String() string {
+	return fmt.Sprintf("%s on worker %d (age %v, deque: %d runnable, %d suspended, %d resumed-pending)",
+		w.Site, w.Worker, w.Age.Round(time.Millisecond), w.DequeLen, w.DequeSuspended, w.DequeResumed)
+}
+
+// StallError is the structured deadlock / lost-wakeup diagnostic the
+// watchdog produces instead of letting the runtime hang: which tasks
+// were suspended, where, for how long, and on whose deques. It unwraps
+// to ErrStalled.
+type StallError struct {
+	// NoProgress is the observed no-progress interval.
+	NoProgress time.Duration
+	// Live is the number of live (incomplete) tasks at stall time.
+	Live int64
+	// Waits lists outstanding suspensions, oldest first, capped at
+	// maxStallWaits entries.
+	Waits []StallWait
+	// Truncated is the number of suspensions omitted from Waits.
+	Truncated int
+}
+
+// maxStallWaits bounds the diagnostic for runs with huge suspension
+// counts; Truncated reports what was dropped.
+const maxStallWaits = 32
+
+func (e *StallError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: no progress for %v, %d live task(s), %d suspension(s) outstanding",
+		ErrStalled, e.NoProgress.Round(time.Millisecond), e.Live, len(e.Waits)+e.Truncated)
+	for _, w := range e.Waits {
+		fmt.Fprintf(&b, "\n  suspended: %s", w)
+	}
+	if e.Truncated > 0 {
+		fmt.Fprintf(&b, "\n  ... and %d more", e.Truncated)
+	}
+	return b.String()
+}
+
+func (e *StallError) Unwrap() error { return ErrStalled }
+
+// watchdog is the suspension monitor: it samples scheduler progress and
+// declares a stall when, for a full StallTimeout window, live tasks
+// remain but no task slice runs, no worker holds a task, and no wakeup
+// (timer or fault-delayed) is pending. That conjunction separates a
+// genuine lost wakeup or deadlock from the benign quiet of a long
+// Latency: an armed timer counts as pending progress.
+//
+// On detection the watchdog cancels the root scope with a *StallError,
+// which aborts every registered wait — so the diagnosis itself unblocks
+// the run and Run returns the typed error instead of hanging. It runs
+// on its own goroutine, off the worker hot paths, and exits when the
+// run completes or after firing once.
+func (rt *runtimeState) watchdog(stop <-chan struct{}) {
+	interval := rt.cfg.StallTimeout / 8
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	lastRun := int64(-1)
+	var quiet time.Duration
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		run := rt.stats.TasksRun.Load()
+		progressed := run != lastRun ||
+			rt.running.Load() > 0 ||
+			rt.pendingWakes.Load() > 0 ||
+			rt.liveTasks.Load() == 0
+		lastRun = run
+		if progressed {
+			quiet = 0
+			continue
+		}
+		quiet += interval
+		if quiet < rt.cfg.StallTimeout {
+			continue
+		}
+		rt.stalled.Store(true)
+		rt.root.cancel(rt.stallError(quiet))
+		return
+	}
+}
+
+// stallError snapshots the suspension registry into a diagnostic.
+func (rt *runtimeState) stallError(quiet time.Duration) *StallError {
+	e := &StallError{NoProgress: quiet, Live: rt.liveTasks.Load()}
+	now := time.Now()
+	rt.susReg.mu.Lock()
+	waits := make([]StallWait, 0, len(rt.susReg.m))
+	for _, info := range rt.susReg.m {
+		suspended, resumed := info.home.snapshot()
+		waits = append(waits, StallWait{
+			Site:           info.site,
+			Age:            now.Sub(info.since),
+			Worker:         info.worker,
+			DequeLen:       info.home.q.Len(),
+			DequeSuspended: suspended,
+			DequeResumed:   resumed,
+		})
+	}
+	rt.susReg.mu.Unlock()
+	sort.Slice(waits, func(i, j int) bool { return waits[i].Age > waits[j].Age })
+	if len(waits) > maxStallWaits {
+		e.Truncated = len(waits) - maxStallWaits
+		waits = waits[:maxStallWaits]
+	}
+	e.Waits = waits
+	return e
+}

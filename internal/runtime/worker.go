@@ -107,15 +107,19 @@ func (w *worker) loopBlocking() {
 
 // runTask grants the worker's slot to the task and waits for it to either
 // finish or suspend. Also used inline by blocking-mode Await to help run
-// queued tasks.
+// queued tasks. The running counter brackets the grant so the watchdog can
+// tell an actively executing run from a stalled one.
 func (w *worker) runTask(t *task) reportKind {
 	w.rt.stats.TasksRun.Add(1)
+	w.rt.running.Add(1)
 	if !t.started {
 		t.started = true
 		go t.main()
 	}
 	t.resume <- w
-	return <-t.report
+	r := <-t.report
+	w.rt.running.Add(-1)
+	return r
 }
 
 // drainResumed implements addResumedVertices (Figure 3, lines 7-14) at
@@ -211,6 +215,9 @@ func (w *worker) trySwitch() bool {
 //lhws:nonblocking
 func (w *worker) trySteal() bool {
 	w.rt.stats.StealAttempts.Add(1)
+	if w.rt.failSteal() {
+		return false
+	}
 	victim := w.pickVictim()
 	if victim == nil {
 		return false
@@ -242,6 +249,9 @@ func (w *worker) trySteal() bool {
 //lhws:nonblocking
 func (w *worker) tryStealBlocking() bool {
 	w.rt.stats.StealAttempts.Add(1)
+	if w.rt.failSteal() {
+		return false
+	}
 	victim := w.pickVictim()
 	if victim == nil {
 		return false

@@ -24,6 +24,7 @@ package lhws
 import (
 	"lhws/internal/dag"
 	"lhws/internal/experiments"
+	"lhws/internal/faultpoint"
 	"lhws/internal/runtime"
 	"lhws/internal/sched"
 	"lhws/internal/workload"
@@ -170,9 +171,85 @@ const (
 )
 
 // RunTasks executes root (and everything it spawns) on a fresh worker pool.
+// It returns a typed error when the execution fails — ErrTaskPanic,
+// ErrCanceled, ErrDeadline, or a *StallError — after unwinding and
+// draining every task; stats are returned even on error.
 func RunTasks(cfg RuntimeConfig, root func(*Ctx)) (*RuntimeStats, error) {
 	return runtime.Run(cfg, root)
 }
+
+// Typed errors from the runtime's resilience layer (see RunTasks).
+var (
+	// ErrTaskPanic wraps the first panic raised inside a task.
+	ErrTaskPanic = runtime.ErrTaskPanic
+	// ErrCanceled reports explicit cancellation (Ctx.Cancel or the cancel
+	// function of WithCancel/WithDeadline).
+	ErrCanceled = runtime.ErrCanceled
+	// ErrDeadline reports an elapsed Ctx.WithDeadline or RuntimeConfig.Deadline.
+	ErrDeadline = runtime.ErrDeadline
+	// ErrStalled reports a watchdog-detected lost wakeup or deadlock;
+	// errors carrying it are *StallError diagnostics.
+	ErrStalled = runtime.ErrStalled
+	// ErrChanClosed reports a Chan closed under a suspended sender.
+	ErrChanClosed = runtime.ErrChanClosed
+)
+
+// Watchdog diagnostics (RuntimeConfig.StallTimeout).
+type (
+	// StallError is the structured deadlock / lost-wakeup diagnostic the
+	// suspension watchdog returns instead of letting a run hang.
+	StallError = runtime.StallError
+	// StallWait describes one suspension outstanding at stall time.
+	StallWait = runtime.StallWait
+)
+
+// Fault injection for chaos testing (RuntimeConfig.Faults).
+type (
+	// FaultInjector decides, per scheduler fault-point occurrence, whether
+	// to inject a fault; construct with NewFaultInjector.
+	FaultInjector = faultpoint.Injector
+	// FaultRule configures one fault point: Action at probability Rate.
+	FaultRule = faultpoint.Rule
+	// FaultPoint names a scheduler location where faults can be injected.
+	FaultPoint = faultpoint.Point
+	// FaultAction is what happens when a fault point fires.
+	FaultAction = faultpoint.Action
+)
+
+// NewFaultInjector returns an injector with no rules armed, seeded for
+// replayable chaos runs; arm points with Set and pass it as
+// RuntimeConfig.Faults.
+func NewFaultInjector(seed uint64) *FaultInjector { return faultpoint.New(seed) }
+
+// Fault points.
+const (
+	// FaultSteal is a steal attempt (Fail forces a miss).
+	FaultSteal = faultpoint.Steal
+	// FaultSuspend is the task-side entry to a suspending operation.
+	FaultSuspend = faultpoint.Suspend
+	// FaultResumeInject is the wakeup returning a suspended task to its deque.
+	FaultResumeInject = faultpoint.ResumeInject
+	// FaultChanWakeup is the channel-handoff wakeup.
+	FaultChanWakeup = faultpoint.ChanWakeup
+	// FaultTaskBody is the entry of a task's user function.
+	FaultTaskBody = faultpoint.TaskBody
+)
+
+// Fault actions.
+const (
+	// FaultNone leaves the operation untouched.
+	FaultNone = faultpoint.None
+	// FaultFail reports failure (steal attempts miss).
+	FaultFail = faultpoint.Fail
+	// FaultDrop swallows a wakeup entirely.
+	FaultDrop = faultpoint.Drop
+	// FaultDelay defers the operation by FaultRule.Delay.
+	FaultDelay = faultpoint.Delay
+	// FaultDup delivers a wakeup twice, FaultRule.Delay apart.
+	FaultDup = faultpoint.Dup
+	// FaultPanic panics at the fault point (task-side points only).
+	FaultPanic = faultpoint.Panic
+)
 
 // SpawnValue spawns f as a child task returning a typed result handle.
 func SpawnValue[T any](c *Ctx, f func(*Ctx) T) *runtime.Value[T] {

@@ -1,6 +1,7 @@
 package lhws_test
 
 import (
+	"errors"
 	"os"
 	goruntime "runtime"
 	"testing"
@@ -204,5 +205,60 @@ func TestPublicParallelFor(t *testing.T) {
 	}
 	if sum != 496 {
 		t.Fatalf("sum = %d, want 496", sum)
+	}
+}
+
+func TestPublicResilience(t *testing.T) {
+	// Per-subtree deadline: the slow child times out with the typed
+	// error, the rest of the run is unaffected.
+	_, err := lhws.RunTasks(lhws.RuntimeConfig{Workers: 2}, func(c *lhws.Ctx) {
+		cc, cancel := c.WithDeadline(10 * time.Millisecond)
+		defer cancel()
+		slow := lhws.SpawnValue(cc, func(c2 *lhws.Ctx) int {
+			c2.Latency(10 * time.Second)
+			return 1
+		})
+		if _, aerr := slow.AwaitErr(c); !errors.Is(aerr, lhws.ErrDeadline) {
+			t.Errorf("AwaitErr = %v, want lhws.ErrDeadline", aerr)
+		}
+	})
+	if err != nil {
+		t.Fatalf("RunTasks: %v", err)
+	}
+
+	// Chaos: a dropped resume wakeup becomes a structured stall
+	// diagnostic instead of a hang.
+	inj := lhws.NewFaultInjector(42).Set(lhws.FaultResumeInject, lhws.FaultRule{
+		Action: lhws.FaultDrop, Rate: 1.0,
+	})
+	st, err := lhws.RunTasks(lhws.RuntimeConfig{
+		Workers:      2,
+		StallTimeout: 100 * time.Millisecond,
+		Faults:       inj,
+	}, func(c *lhws.Ctx) {
+		c.Latency(time.Millisecond)
+	})
+	var se *lhws.StallError
+	if !errors.As(err, &se) || !errors.Is(err, lhws.ErrStalled) {
+		t.Fatalf("RunTasks err = %v, want *lhws.StallError wrapping ErrStalled", err)
+	}
+	if !st.Stalled {
+		t.Errorf("Stats.Stalled = false, want true")
+	}
+
+	// Chan close flows through the facade aliases.
+	_, err = lhws.RunTasks(lhws.RuntimeConfig{Workers: 2}, func(c *lhws.Ctx) {
+		ch := lhws.NewChan[int](0)
+		ch.Send(c, 5)
+		ch.Close()
+		if v, ok := ch.RecvOK(c); !ok || v != 5 {
+			t.Errorf("RecvOK = (%d, %v), want (5, true)", v, ok)
+		}
+		if _, ok := ch.RecvOK(c); ok {
+			t.Errorf("RecvOK on drained closed chan reported ok")
+		}
+	})
+	if err != nil {
+		t.Fatalf("RunTasks: %v", err)
 	}
 }
