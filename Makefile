@@ -3,7 +3,7 @@ GO ?= go
 # Core packages whose hot paths the race/vet gates guard.
 CORE := ./internal/deque/... ./internal/runtime/... ./internal/sched/...
 
-.PHONY: all build test race race-core vet lint chaos ci figures clean
+.PHONY: all build test race race-core vet lint chaos bench-runtime bench-smoke ci figures clean
 
 all: build
 
@@ -40,8 +40,24 @@ lint:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/runtime/
 
+# bench-runtime regenerates the hot-path microbenchmark record: the Go
+# benchmarks (ns/op + allocs/op) and the BENCH_runtime.json sweep with
+# its allocation and baseline-regression checks (see EXPERIMENTS.md
+# "Runtime overheads").
+bench-runtime:
+	$(GO) test -run '^$$' -bench 'SpawnAwaitLadder|WideFanout|StealHeavySkew|ResumeStorm' -benchmem -benchtime 1s ./internal/runtime/
+	$(GO) run ./cmd/lhws-bench -exp runtime
+
+# bench-smoke is the CI form: every benchmark compiles and runs once, and
+# the AllocsPerRun gates assert the pooled hot paths stay allocation-free
+# at steady state. No timing thresholds — CI boxes are too noisy for ns/op
+# gates; the timed record is bench-runtime, run on a quiet machine.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '.' -benchtime 1x ./internal/runtime/
+	$(GO) test -run 'TestAllocs' -count=1 ./internal/runtime/
+
 # ci mirrors .github/workflows/ci.yml.
-ci: build lint vet test race chaos
+ci: build lint vet test race chaos bench-smoke
 
 figures:
 	$(GO) run ./cmd/lhws-bench -exp fig11 -svg figures

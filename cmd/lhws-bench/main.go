@@ -6,13 +6,17 @@
 //
 //	lhws-bench -exp fig11 [-delta 500] [-full] [-seed 1]
 //	lhws-bench -exp greedy|bound|lemmas|steals|uwidth|wallclock|all
+//	lhws-bench -exp runtime [-out BENCH_runtime.json]
 //
 // Output is a fixed-width table per experiment plus a PASS/FAIL line for
 // the experiment's shape check. -markdown switches tables to Markdown for
-// pasting into documents.
+// pasting into documents. -exp runtime additionally writes the hot-path
+// microbenchmark sweep (ns/op, allocs/op, baseline deltas) as JSON to
+// -out, the checked-in regression baseline.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,12 +36,13 @@ type tabler interface {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig11, greedy, bound, lemmas, steals, variants, potential, uwidth, wallclock, responsiveness, multiprog, scale, all")
+		exp      = flag.String("exp", "all", "experiment: fig11, greedy, bound, lemmas, steals, variants, potential, uwidth, wallclock, responsiveness, multiprog, scale, runtime, all")
 		deltaMS  = flag.Float64("delta", 0, "fig11 panel latency in ms (500, 50, 1); 0 runs all three panels")
 		full     = flag.Bool("full", false, "fig11 at the paper's full scale (n=5000) instead of the laptop scale (n=500)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		markdown = flag.Bool("markdown", false, "render tables as Markdown")
 		svgDir   = flag.String("svg", "", "directory to write Figure-11 panels as SVG plots (fig11 only)")
+		jsonOut  = flag.String("out", "BENCH_runtime.json", "output path for the -exp runtime JSON sweep")
 	)
 	flag.Parse()
 
@@ -133,10 +138,36 @@ func main() {
 	if want("scale") {
 		run("high-P scaling (beyond the paper's sweep)", func() (tabler, error) { return experiments.Scale(*seed) })
 	}
+	if want("runtime") {
+		run("runtime overheads (hot-path microbenchmarks)", func() (tabler, error) {
+			r, err := experiments.RuntimeBench(*seed)
+			if err == nil {
+				if werr := writeRuntimeJSON(*jsonOut, r); werr != nil {
+					fmt.Fprintf(os.Stderr, "json: %v\n", werr)
+					ok = false
+				}
+			}
+			return r, err
+		})
+	}
 
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// writeRuntimeJSON writes the hot-path sweep as the BENCH_runtime.json
+// regression baseline.
+func writeRuntimeJSON(path string, r *experiments.RuntimeBenchResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // writeFig11SVG renders one Figure-11 panel in the paper's plot

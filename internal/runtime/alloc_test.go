@@ -1,0 +1,97 @@
+package runtime
+
+import (
+	"testing"
+)
+
+// Allocation-regression gates for the pooled hot paths. These are the
+// contract the pool layer exists to uphold: once the free lists are warm,
+// a scheduling quantum costs zero heap allocations — spawn, suspension,
+// resume injection, pfor split, and shell recycling all run on recycled
+// objects. testing.AllocsPerRun pins GOMAXPROCS to 1 for the measured
+// runs, which the cooperative handoff protocol tolerates (every wait
+// below is a channel handoff, not a spin).
+
+// TestAllocsSpawnAwaitSteadyState gates the internal spawn/await quantum
+// (spawnPooled + awaitConsume, the path For and MapReduce ride) at zero
+// steady-state allocations per spawn-suspend-run-resume cycle.
+func TestAllocsSpawnAwaitSteadyState(t *testing.T) {
+	_, err := Run(benchConfig(1), func(c *Ctx) {
+		for i := 0; i < 64; i++ { // warm the shell, future, waiter, and node pools
+			c.spawnPooled(benchLeaf).awaitConsume(c)
+		}
+		if avg := testing.AllocsPerRun(200, func() {
+			if werr := c.spawnPooled(benchLeaf).awaitConsume(c); werr != nil {
+				t.Fatalf("await: %v", werr)
+			}
+		}); avg != 0 {
+			t.Errorf("pooled spawn/await allocates %.2f objects/op at steady state, want 0", avg)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestAllocsPublicSpawnSteadyState gates the public Spawn/Await quantum at
+// exactly its documented cost: the one user-visible *Future per Spawn
+// (never pooled — it may outlive the await), and nothing else.
+func TestAllocsPublicSpawnSteadyState(t *testing.T) {
+	_, err := Run(benchConfig(1), func(c *Ctx) {
+		for i := 0; i < 64; i++ {
+			c.Spawn(benchLeaf).Await(c)
+		}
+		if avg := testing.AllocsPerRun(200, func() {
+			c.Spawn(benchLeaf).Await(c)
+		}); avg > 1 {
+			t.Errorf("public Spawn/Await allocates %.2f objects/op at steady state, want <= 1 (the Future)", avg)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestAllocsResumeInjectionSteadyState gates the bulk resume-injection
+// path: a storm round wakes 32 channel-suspended consumers (their
+// re-injections batching into single pfor pushes on the home deque) and
+// drains their replies — and must allocate nothing once warm.
+func TestAllocsResumeInjectionSteadyState(t *testing.T) {
+	const storm = 32
+	_, err := Run(benchConfig(1), func(c *Ctx) {
+		work := NewChan[int](0)
+		ack := NewChan[int](0)
+		futs := make([]*Future, storm)
+		for i := 0; i < storm; i++ {
+			futs[i] = c.Spawn(func(cc *Ctx) {
+				for {
+					v, ok := work.RecvOK(cc)
+					if !ok {
+						return
+					}
+					ack.Send(cc, v)
+				}
+			})
+		}
+		round := func() {
+			for i := 0; i < storm; i++ {
+				work.Send(c, i)
+			}
+			for i := 0; i < storm; i++ {
+				ack.Recv(c)
+			}
+		}
+		round() // warm: park every consumer, size the queues and buffers
+		round()
+		if avg := testing.AllocsPerRun(50, round); avg != 0 {
+			t.Errorf("resume-injection round allocates %.2f objects/round at steady state, want 0", avg)
+		}
+		work.Close()
+		for i := 0; i < storm; i++ {
+			futs[i].Await(c)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -54,9 +54,22 @@ type cancelScope struct {
 	mu       sync.Mutex
 	err      error
 	children map[*cancelScope]struct{}
-	waits    map[any]func(error)
+	waits    map[any]aborter
 	timer    *time.Timer
 }
+
+// aborter is a registered wait's cancellation callback. waiter implements
+// it directly (suspensions register with key == the waiter itself), so the
+// hot suspension path registers without allocating; ad-hoc callbacks wrap
+// a closure in abortFunc.
+type aborter interface {
+	abortWait(err error)
+}
+
+// abortFunc adapts a closure to aborter (blocking-mode waits, tests).
+type abortFunc func(error)
+
+func (f abortFunc) abortWait(err error) { f(err) }
 
 // newCancelScope creates a scope under parent (nil for the root). A
 // scope derived from an already-canceled parent is born canceled.
@@ -118,8 +131,8 @@ func (s *cancelScope) cancel(err error) {
 	if s.rt != nil && s == s.rt.root {
 		s.rt.noteFatal(err)
 	}
-	for _, abort := range waits {
-		abort(err)
+	for _, a := range waits {
+		a.abortWait(err)
 	}
 	for _, k := range kids {
 		k.cancel(err)
@@ -158,11 +171,11 @@ func (s *cancelScope) detach() {
 	p.mu.Unlock()
 }
 
-// addWait registers a wait with abort as its cancellation callback. If
-// the scope is already canceled it registers nothing and returns the
-// cause; the caller then runs its abort path itself, which closes the
-// race between suspending and a concurrent cancel.
-func (s *cancelScope) addWait(key any, abort func(error)) error {
+// addWait registers a wait with a as its cancellation callback. If the
+// scope is already canceled it registers nothing and returns the cause;
+// the caller then runs its abort path itself, which closes the race
+// between suspending and a concurrent cancel.
+func (s *cancelScope) addWait(key any, a aborter) error {
 	s.mu.Lock()
 	if s.err != nil {
 		err := s.err
@@ -170,20 +183,25 @@ func (s *cancelScope) addWait(key any, abort func(error)) error {
 		return err
 	}
 	if s.waits == nil {
-		s.waits = make(map[any]func(error))
+		s.waits = make(map[any]aborter)
 	}
-	s.waits[key] = abort
+	s.waits[key] = a
 	s.mu.Unlock()
 	return nil
 }
 
-// removeWait deregisters a wait after it completed normally.
-func (s *cancelScope) removeWait(key any) {
+// removeWait deregisters a wait after it completed normally. It reports
+// whether the key was still registered — i.e. whether the abort callback
+// is now guaranteed never to run, which tells a refcounting caller it
+// owns the reference the callback would otherwise have consumed.
+func (s *cancelScope) removeWait(key any) bool {
 	s.mu.Lock()
-	if s.waits != nil {
+	_, present := s.waits[key]
+	if present {
 		delete(s.waits, key)
 	}
 	s.mu.Unlock()
+	return present
 }
 
 // WithCancel derives a context whose tasks — everything spawned or

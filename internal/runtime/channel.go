@@ -20,6 +20,14 @@ var ErrChanClosed = errors.New("runtime: Chan closed")
 // primitives" among the latency-incurring operations the model covers;
 // Chan is that primitive for this runtime.
 //
+// Wakeups are Mesa-style: the peer buffers the value (or frees a slot),
+// wakes one parked waiter, and the woken task retries its operation. A
+// parked waiter is just its *waiter token — no per-operation slot or box
+// — so the suspend/wake cycle allocates nothing in steady state: waiters
+// are pooled, and the buffer and queues are head-indexed rings that keep
+// their backing arrays across refills and dequeue in O(1) (a pop-front
+// copy would make draining an n-deep backlog quadratic).
+//
 // In Blocking mode, a receiver first helps by running tasks from its own
 // deque (else a single worker would deadlock against a producer task in
 // its own deque) and then blocks the worker on a condition variable;
@@ -37,26 +45,12 @@ var ErrChanClosed = errors.New("runtime: Chan closed")
 type Chan[T any] struct {
 	mu       sync.Mutex
 	cond     *sync.Cond // blocking mode wakeups
-	buf      []T
+	buf      []T        // buffered values: buf[bufHead:]
+	bufHead  int
 	capacity int // < 1 means unbounded
 	closed   bool
-	recvq    []chanRecvWaiter[T]
-	sendq    []chanSendWaiter[T]
-}
-
-// chanRecvWaiter is a suspended receiver: the peer (or Close) fills slot
-// and ok, then delivers the wakeup through the waiter's claim token.
-type chanRecvWaiter[T any] struct {
-	wt   *waiter
-	slot *T
-	ok   *bool
-}
-
-// chanSendWaiter is a suspended sender parked with its value; a receiver
-// admits the value into the buffer and delivers the wakeup.
-type chanSendWaiter[T any] struct {
-	wt  *waiter
-	val T
+	recvq    waitq // parked receivers, FIFO
+	sendq    waitq // parked senders, FIFO
 }
 
 // NewChan returns a channel with the given capacity; capacity < 1 means
@@ -71,14 +65,94 @@ func NewChan[T any](capacity int) *Chan[T] {
 func (ch *Chan[T]) Len() int {
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
-	return len(ch.buf)
+	return ch.buffered()
+}
+
+func (ch *Chan[T]) buffered() int { return len(ch.buf) - ch.bufHead }
+
+// appendLocked enqueues v at the tail. When the head index has crept up
+// and the array is full, the live extent is compacted to the front first,
+// so the backing array is reused instead of growing without bound —
+// amortized O(1), zero steady-state allocations.
+func (ch *Chan[T]) appendLocked(v T) {
+	if ch.bufHead > 0 && len(ch.buf) == cap(ch.buf) {
+		var zero T
+		n := copy(ch.buf, ch.buf[ch.bufHead:])
+		for i := n; i < len(ch.buf); i++ {
+			ch.buf[i] = zero
+		}
+		ch.buf = ch.buf[:n]
+		ch.bufHead = 0
+	}
+	ch.buf = append(ch.buf, v)
+}
+
+// waitq is a FIFO of parked waiters: a head-indexed ring over one backing
+// array, the same shape as the value buffer (O(1) pop, compact before
+// grow, array kept across refills).
+type waitq struct {
+	s    []*waiter
+	head int
+}
+
+func (q *waitq) empty() bool { return q.head == len(q.s) }
+
+func (q *waitq) push(wt *waiter) {
+	if q.head > 0 && len(q.s) == cap(q.s) {
+		n := copy(q.s, q.s[q.head:])
+		for i := n; i < len(q.s); i++ {
+			q.s[i] = nil
+		}
+		q.s = q.s[:n]
+		q.head = 0
+	}
+	q.s = append(q.s, wt)
+}
+
+func (q *waitq) pop() *waiter {
+	wt := q.s[q.head]
+	q.s[q.head] = nil
+	q.head++
+	if q.head == len(q.s) {
+		q.s = q.s[:0]
+		q.head = 0
+	}
+	return wt
+}
+
+// take empties the queue and returns the live waiters (Close path; the
+// backing array is handed off with them).
+func (q *waitq) take() []*waiter {
+	live := q.s[q.head:]
+	q.s = nil
+	q.head = 0
+	return live
+}
+
+// remove unlinks wt if still queued (cancellation abort path; rare, so a
+// scan-and-shift is fine).
+func (q *waitq) remove(wt *waiter) bool {
+	for i := q.head; i < len(q.s); i++ {
+		if q.s[i] == wt {
+			copy(q.s[i:], q.s[i+1:])
+			q.s[len(q.s)-1] = nil
+			q.s = q.s[:len(q.s)-1]
+			if q.head == len(q.s) {
+				q.s = q.s[:0]
+				q.head = 0
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // Close closes the channel: buffered values remain receivable, further
 // receives on a drained channel report ok=false, further sends panic.
-// Suspended receivers are woken empty-handed; suspended senders unwind
-// with ErrChanClosed (the abort path, so it stays reliable under fault
-// injection). Closing an already-closed Chan panics.
+// Suspended receivers are woken empty-handed (they retry, observe closed,
+// and return ok=false); suspended senders unwind with ErrChanClosed (the
+// abort path, so it stays reliable under fault injection). Closing an
+// already-closed Chan panics.
 func (ch *Chan[T]) Close() {
 	ch.mu.Lock()
 	if ch.closed {
@@ -86,18 +160,16 @@ func (ch *Chan[T]) Close() {
 		panic("runtime: close of closed Chan")
 	}
 	ch.closed = true
-	recvq := ch.recvq
-	ch.recvq = nil
-	sendq := ch.sendq
-	ch.sendq = nil
+	recvq := ch.recvq.take()
+	sendq := ch.sendq.take()
 	ch.cond.Broadcast()
 	ch.mu.Unlock()
-	for _, r := range recvq {
-		// slot/ok retain their zero values: a close wake.
-		r.wt.deliver(faultpoint.ChanWakeup)
+	for _, wt := range recvq {
+		wt.deliver(faultpoint.ChanWakeup) // consumes the queue's reference
 	}
-	for _, s := range sendq {
-		s.wt.wake(ErrChanClosed)
+	for _, wt := range sendq {
+		wt.wake(ErrChanClosed)
+		wt.release() // the queue's reference
 	}
 }
 
@@ -109,27 +181,33 @@ func (ch *Chan[T]) Send(c *Ctx, v T) {
 		ch.sendBlocking(v)
 		return
 	}
+	parked := false
 	for {
 		ch.mu.Lock()
 		if ch.closed {
 			ch.mu.Unlock()
+			if parked {
+				// The channel was closed while this sender was suspended on
+				// it (the wake and the Close raced): unwind with the typed
+				// error rather than panicking like a fresh send.
+				panic(cancelPanic{err: ErrChanClosed})
+			}
 			panic("runtime: send on closed Chan")
 		}
-		// Direct handoff to a suspended receiver, if any.
-		if len(ch.recvq) > 0 {
-			r := ch.recvq[0]
-			ch.recvq = ch.recvq[1:]
+		// Admit the value if there is room — or if a receiver is parked,
+		// which implies the buffer is transiently drained; the receiver
+		// retries immediately, so occupancy never exceeds capacity for
+		// longer than its wakeup.
+		if ch.capacity < 1 || ch.buffered() < ch.capacity || !ch.recvq.empty() {
+			ch.appendLocked(v)
+			var wt *waiter
+			if !ch.recvq.empty() {
+				wt = ch.recvq.pop()
+			}
 			ch.mu.Unlock()
-			// Publish value before the wakeup: the resume handoff chain
-			// orders these writes before the receiver reads the slot.
-			*r.slot = v
-			*r.ok = true
-			r.wt.deliver(faultpoint.ChanWakeup)
-			return
-		}
-		if ch.capacity < 1 || len(ch.buf) < ch.capacity {
-			ch.buf = append(ch.buf, v)
-			ch.mu.Unlock()
+			if wt != nil {
+				wt.deliver(faultpoint.ChanWakeup) // consumes the queue's reference
+			}
 			return
 		}
 		ch.mu.Unlock()
@@ -139,32 +217,20 @@ func (ch *Chan[T]) Send(c *Ctx, v T) {
 		home := t.w.active
 		home.suspend()
 		ch.mu.Lock()
-		if ch.closed || len(ch.recvq) > 0 || len(ch.buf) < ch.capacity {
+		if ch.closed || !ch.recvq.empty() || ch.buffered() < ch.capacity {
 			// The channel changed while we were off the lock; retry the
 			// fast paths rather than parking on a stale picture.
 			ch.mu.Unlock()
 			home.unsuspend()
 			continue
 		}
-		wt := t.beginWait("chan-send", home)
-		ch.sendq = append(ch.sendq, chanSendWaiter[T]{wt: wt, val: v})
+		wt := t.beginWait("chan-send", home, ch)
+		wt.refs.Add(1) // the sendq entry's event reference
+		ch.sendq.push(wt)
 		ch.mu.Unlock()
-		abort := func(err error) {
-			ch.mu.Lock()
-			for i := range ch.sendq {
-				if ch.sendq[i].wt == wt {
-					ch.sendq = append(ch.sendq[:i], ch.sendq[i+1:]...)
-					break
-				}
-			}
-			ch.mu.Unlock()
-			wt.wake(err)
-		}
-		if err := c.scope.addWait(wt, abort); err != nil {
-			abort(err)
-		}
+		c.armScope(wt)
 		c.finishWait(wt)
-		return
+		parked = true
 	}
 }
 
@@ -184,6 +250,7 @@ func (ch *Chan[T]) RecvOK(c *Ctx) (T, bool) {
 		return ch.recvOKBlocking(c)
 	}
 	var zero T
+	// Fast path: one locked attempt with no suspension bookkeeping.
 	ch.mu.Lock()
 	if v, ok := ch.takeLocked(); ok {
 		ch.mu.Unlock()
@@ -194,44 +261,46 @@ func (ch *Chan[T]) RecvOK(c *Ctx) (T, bool) {
 		return zero, false
 	}
 	ch.mu.Unlock()
-	// Empty: suspend until a sender hands a value over (or Close wakes
-	// us empty-handed).
-	c.injectFault(faultpoint.Suspend)
+	// Slow path: suspend until a sender buffers a value and wakes us (we
+	// then retry the take — another receiver may legally beat us to it)
+	// or Close wakes us empty-handed. Each cycle folds the retry and the
+	// park decision into a single critical section.
 	t := c.t
-	home := t.w.active
-	home.suspend()
-	ch.mu.Lock()
-	if v, ok := ch.takeLocked(); ok {
-		ch.mu.Unlock()
-		home.unsuspend()
-		return v, true
-	}
-	if ch.closed {
-		ch.mu.Unlock()
-		home.unsuspend()
-		return zero, false
-	}
-	wt := t.beginWait("chan-recv", home)
-	var slot T
-	var okv bool
-	ch.recvq = append(ch.recvq, chanRecvWaiter[T]{wt: wt, slot: &slot, ok: &okv})
-	ch.mu.Unlock()
-	abort := func(err error) {
+	for {
+		c.injectFault(faultpoint.Suspend)
+		home := t.w.active
+		home.suspend()
 		ch.mu.Lock()
-		for i := range ch.recvq {
-			if ch.recvq[i].wt == wt {
-				ch.recvq = append(ch.recvq[:i], ch.recvq[i+1:]...)
-				break
-			}
+		if v, ok := ch.takeLocked(); ok {
+			ch.mu.Unlock()
+			home.unsuspend()
+			return v, true
 		}
+		if ch.closed {
+			ch.mu.Unlock()
+			home.unsuspend()
+			return zero, false
+		}
+		wt := t.beginWait("chan-recv", home, ch)
+		wt.refs.Add(1) // the recvq entry's event reference
+		ch.recvq.push(wt)
 		ch.mu.Unlock()
-		wt.wake(err)
+		c.armScope(wt)
+		c.finishWait(wt)
 	}
-	if err := c.scope.addWait(wt, abort); err != nil {
-		abort(err)
+}
+
+// cancelWait implements wakeSource: a scope cancellation removes the
+// waiter from whichever queue it is parked on and wakes the task with err
+// so it unwinds.
+func (ch *Chan[T]) cancelWait(wt *waiter, err error) {
+	ch.mu.Lock()
+	removed := ch.recvq.remove(wt) || ch.sendq.remove(wt)
+	ch.mu.Unlock()
+	wt.wake(err)
+	if removed {
+		wt.release() // the queue entry's event reference
 	}
-	c.finishWait(wt)
-	return slot, okv
 }
 
 // TryRecv takes a value if one is buffered, without suspending.
@@ -241,21 +310,25 @@ func (ch *Chan[T]) TryRecv() (T, bool) {
 	return ch.takeLocked()
 }
 
-// takeLocked removes the head of the buffer and admits one waiting sender.
+// takeLocked removes the head of the buffer (O(1): the head index
+// advances, the array is kept) and wakes one waiting sender, which now
+// has room.
 func (ch *Chan[T]) takeLocked() (T, bool) {
 	var zero T
-	if len(ch.buf) == 0 {
+	if ch.bufHead == len(ch.buf) {
 		return zero, false
 	}
-	v := ch.buf[0]
-	ch.buf = ch.buf[1:]
-	if len(ch.sendq) > 0 {
-		s := ch.sendq[0]
-		ch.sendq = ch.sendq[1:]
-		ch.buf = append(ch.buf, s.val)
+	v := ch.buf[ch.bufHead]
+	ch.buf[ch.bufHead] = zero
+	ch.bufHead++
+	if ch.bufHead == len(ch.buf) {
+		ch.buf = ch.buf[:0]
+		ch.bufHead = 0
+	}
+	if !ch.sendq.empty() {
 		// Wake under ch.mu is fine: deliver takes only leaf locks (the
 		// injector's, then the deque's), never ch.mu again.
-		s.wt.deliver(faultpoint.ChanWakeup)
+		ch.sendq.pop().deliver(faultpoint.ChanWakeup) // consumes the queue's reference
 	}
 	return v, true
 }
@@ -272,7 +345,7 @@ func (ch *Chan[T]) sendBlocking(v T) {
 		ch.mu.Unlock()
 		panic("runtime: send on closed Chan")
 	}
-	ch.buf = append(ch.buf, v)
+	ch.appendLocked(v)
 	ch.cond.Broadcast()
 	ch.mu.Unlock()
 }
@@ -284,19 +357,17 @@ func (ch *Chan[T]) recvOKBlocking(c *Ctx) (T, bool) {
 	// condition variable (under ch.mu, so the wait loop below cannot miss
 	// it between its check and cond.Wait).
 	key := new(int)
-	if err := c.scope.addWait(key, func(error) {
+	if err := c.scope.addWait(key, abortFunc(func(error) {
 		ch.mu.Lock()
 		ch.cond.Broadcast()
 		ch.mu.Unlock()
-	}); err != nil {
+	})); err != nil {
 		panic(cancelPanic{err: err})
 	}
 	defer c.scope.removeWait(key)
 	for {
 		ch.mu.Lock()
-		if len(ch.buf) > 0 {
-			v := ch.buf[0]
-			ch.buf = ch.buf[1:]
+		if v, ok := ch.takeLocked(); ok {
 			ch.mu.Unlock()
 			return v, true
 		}
@@ -309,11 +380,11 @@ func (ch *Chan[T]) recvOKBlocking(c *Ctx) (T, bool) {
 		// Help: run a task from the worker's own deque (the producer may
 		// be queued right there); block only when nothing local remains.
 		if it, ok := c.t.w.active.q.PopBottom(); ok {
-			c.t.w.runTask(it.(*task))
+			c.t.w.runTask(c.t.w.resolveItem(it))
 			continue
 		}
 		ch.mu.Lock()
-		if len(ch.buf) == 0 && !ch.closed {
+		if ch.buffered() == 0 && !ch.closed {
 			if err := c.scope.Err(); err != nil {
 				ch.mu.Unlock()
 				panic(cancelPanic{err: err})

@@ -9,7 +9,10 @@ import (
 )
 
 // chaosSeeds are the fixed seeds the chaos suite replays (make chaos).
-var chaosSeeds = []uint64{1, 7, 42}
+// 99 and 4242 were added with the pooled hot path / pfor bulk injection
+// so the recycling and batch-split paths see more victim/injection
+// interleavings.
+var chaosSeeds = []uint64{1, 7, 42, 99, 4242}
 
 // chaosTasks and chaosWant parameterize the chaos workload: a fork-join
 // producer/consumer computation exercising every suspension path (Latency,
@@ -198,5 +201,87 @@ func TestChaosCombined(t *testing.T) {
 			Set(faultpoint.ChanWakeup, faultpoint.Rule{Action: faultpoint.Dup, Rate: 0.10, Delay: time.Millisecond}).
 			Set(faultpoint.TaskBody, faultpoint.Rule{Action: faultpoint.Panic, Rate: 0.01})
 		correctOrTyped(t, seed, inj, ErrTaskPanic)
+	}
+}
+
+// chaosStormWorkload is the bulk-injection shape: stormWidth consumers
+// all park on one channel, so every broadcast round re-injects a wide
+// batch through drainResumed's single pfor push, and the consumers' pooled
+// shells cycle through suspension every round. Faults landing inside a
+// batch (dropped, delayed, duplicated wakeups) therefore hit the pfor
+// split and shell-recycling paths specifically.
+func chaosStormWorkload(c *Ctx) int {
+	const width, rounds = 16, 8
+	work := NewChan[int](0)
+	ack := NewChan[int](0)
+	for i := 0; i < width; i++ {
+		c.Spawn(func(cc *Ctx) {
+			for {
+				v, ok := work.RecvOK(cc)
+				if !ok {
+					return
+				}
+				ack.Send(cc, v)
+			}
+		})
+	}
+	sum := 0
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < width; i++ {
+			work.Send(c, r*width+i+1)
+		}
+		for i := 0; i < width; i++ {
+			sum += ack.Recv(c)
+		}
+	}
+	work.Close()
+	return sum
+}
+
+const chaosStormWant = (16 * 8) * (16*8 + 1) / 2
+
+// TestChaosStormResumeFaults runs the storm shape under delayed resume
+// injections plus duplicated channel wakeups: batches split and recycle
+// out of order, but no value may be lost or delivered twice.
+func TestChaosStormResumeFaults(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		inj := faultpoint.New(seed).
+			Set(faultpoint.ResumeInject, faultpoint.Rule{Action: faultpoint.Delay, Rate: 0.20, Delay: 2 * time.Millisecond}).
+			Set(faultpoint.ChanWakeup, faultpoint.Rule{Action: faultpoint.Dup, Rate: 0.20, Delay: time.Millisecond})
+		var got int
+		st, err := Run(chaosConfig(seed, inj), func(c *Ctx) { got = chaosStormWorkload(c) })
+		if err != nil {
+			t.Fatalf("seed %d: Run: %v (faults: %s)", seed, err, inj.Summary())
+		}
+		if got != chaosStormWant {
+			t.Fatalf("seed %d: sum = %d, want %d (faults: %s)", seed, got, chaosStormWant, inj.Summary())
+		}
+		if st.Stalled {
+			t.Fatalf("seed %d: watchdog fired on a recoverable fault", seed)
+		}
+	}
+}
+
+// TestChaosStormDrop loses 5% of channel wakeups under the storm shape:
+// a drop strands part of a re-injected batch, and the watchdog (or the
+// run deadline) must convert that into a typed error, never a hang.
+func TestChaosStormDrop(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		inj := faultpoint.New(seed).Set(faultpoint.ChanWakeup, faultpoint.Rule{
+			Action: faultpoint.Drop, Rate: 0.05,
+		})
+		var got int
+		_, err := Run(chaosConfig(seed, inj), func(c *Ctx) { got = chaosStormWorkload(c) })
+		if err == nil {
+			if got != chaosStormWant {
+				t.Fatalf("seed %d: err nil but sum = %d, want %d (faults: %s)",
+					seed, got, chaosStormWant, inj.Summary())
+			}
+			continue
+		}
+		if !errors.Is(err, ErrStalled) && !errors.Is(err, ErrDeadline) && !errors.Is(err, ErrCanceled) {
+			t.Fatalf("seed %d: Run err = %v, want nil, stall, deadline, or cancel (faults: %s)",
+				seed, err, inj.Summary())
+		}
 	}
 }

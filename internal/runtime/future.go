@@ -7,23 +7,37 @@ import (
 )
 
 // Future is the completion handle of a spawned task.
+//
+// Futures returned by Spawn are heap-allocated once and never recycled —
+// the caller may hold them indefinitely. The internal spawnPooled /
+// awaitConsume pair (structured fork-join, benchmarks) recycles futures
+// through the worker free lists instead; see pool.go for the contract.
 type Future struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	done    bool
-	err     error     // the child's outcome: nil, cancellation cause, or wrapped panic
-	waiters []*waiter // suspended tasks to resume on completion (LHWS mode)
+	mu   sync.Mutex
+	cond sync.Cond // lazily targets mu; blocking-mode waits only
+	done bool
+	err  error // the child's outcome: nil, cancellation cause, or wrapped panic
+	// w0 is the first suspended waiter, inlined because almost every
+	// future has exactly one awaiter — the common case then registers
+	// without touching the overflow slice (no allocation). overflow holds
+	// any further waiters.
+	w0       *waiter
+	overflow []*waiter
 }
 
+//lhws:nonblocking
 func newFuture() *Future {
 	f := &Future{}
-	f.cond = sync.NewCond(&f.mu)
+	f.cond.L = &f.mu
 	return f
 }
 
 // complete marks the future done with the child's outcome, resumes
 // suspended waiters (latency-hiding mode), and wakes blocked workers
-// (blocking mode).
+// (blocking mode). Waiters are delivered while f.mu is held so the
+// overflow backing array can be truncated and reused by a pooled future's
+// next life; that is safe because deliver/wake take only leaf locks
+// (injector, suspension registry, deque, worker) and never a Future's.
 func (f *Future) complete(err error) {
 	f.mu.Lock()
 	if f.done {
@@ -32,12 +46,42 @@ func (f *Future) complete(err error) {
 	}
 	f.done = true
 	f.err = err
-	waiters := f.waiters
-	f.waiters = nil
 	f.cond.Broadcast()
-	f.mu.Unlock()
-	for _, wt := range waiters {
+	if wt := f.w0; wt != nil {
+		f.w0 = nil
 		wt.deliver(faultpoint.ResumeInject)
+	}
+	for i, wt := range f.overflow {
+		f.overflow[i] = nil
+		wt.deliver(faultpoint.ResumeInject)
+	}
+	f.overflow = f.overflow[:0]
+	f.mu.Unlock()
+}
+
+// cancelWait implements wakeSource: a scope cancellation dequeues the
+// waiter (if the completion has not already consumed it) and wakes the
+// task with err so it unwinds instead of waiting on a completion that may
+// never come.
+func (f *Future) cancelWait(wt *waiter, err error) {
+	f.mu.Lock()
+	removed := false
+	if f.w0 == wt {
+		f.w0 = nil
+		removed = true
+	} else {
+		for i, w := range f.overflow {
+			if w == wt {
+				f.overflow = append(f.overflow[:i], f.overflow[i+1:]...)
+				removed = true
+				break
+			}
+		}
+	}
+	f.mu.Unlock()
+	wt.wake(err)
+	if removed {
+		wt.release() // the event reference the waiter registration held
 	}
 }
 
@@ -97,25 +141,28 @@ func (f *Future) AwaitErr(c *Ctx) error {
 		home.unsuspend()
 		return err
 	}
-	wt := t.beginWait("await", home)
-	f.waiters = append(f.waiters, wt)
+	wt := t.beginWait("await", home, f)
+	wt.refs.Add(1) // the registration's event reference
+	if f.w0 == nil {
+		f.w0 = wt
+	} else {
+		f.overflow = append(f.overflow, wt)
+	}
 	f.mu.Unlock()
-	abort := func(err error) {
-		f.mu.Lock()
-		for i, w := range f.waiters {
-			if w == wt {
-				f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
-				break
-			}
-		}
-		f.mu.Unlock()
-		wt.wake(err)
-	}
-	if err := c.scope.addWait(wt, abort); err != nil {
-		abort(err)
-	}
+	c.armScope(wt)
 	c.finishWait(wt)
 	return f.Err()
+}
+
+// awaitConsume awaits the future and returns it to the worker's free
+// list. Only futures created by spawnPooled may be consumed, exactly
+// once, by their single awaiter; see pool.go. If the await unwinds
+// (cancellation), the future is simply not recycled — the child may
+// still complete it safely.
+func (f *Future) awaitConsume(c *Ctx) error {
+	err := f.AwaitErr(c)
+	c.t.w.releaseFuture(f)
+	return err
 }
 
 //lhws:owner the awaiting task holds its worker's owner role and lends it to tasks it runs inline
@@ -124,11 +171,11 @@ func (f *Future) awaitBlocking(c *Ctx) error {
 	// condition variable (under f.mu, so the wait loop below cannot miss
 	// it between its check and cond.Wait).
 	key := new(int)
-	if err := c.scope.addWait(key, func(error) {
+	if err := c.scope.addWait(key, abortFunc(func(error) {
 		f.mu.Lock()
 		f.cond.Broadcast()
 		f.mu.Unlock()
-	}); err != nil {
+	})); err != nil {
 		panic(cancelPanic{err: err})
 	}
 	defer c.scope.removeWait(key)
@@ -141,7 +188,7 @@ func (f *Future) awaitBlocking(c *Ctx) error {
 		// task holds the worker's owner role, so it may pop and grant the
 		// role to a sub-task for the duration of the inline run.
 		if it, ok := c.t.w.active.q.PopBottom(); ok {
-			c.t.w.runTask(it.(*task))
+			c.t.w.runTask(c.t.w.resolveItem(it))
 			continue
 		}
 		// Nothing local: block until completion or cancellation. Work

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"lhws/internal/deque"
 )
@@ -19,8 +20,19 @@ type rdeque struct {
 	q     *deque.ChaseLev
 	owner *worker
 
+	// inReadySet marks membership in the owner's ready list so addReady is
+	// O(1) instead of scanning. Guarded by the owner's mu (not d.mu),
+	// because it mirrors state of the owner's ready slice.
+	inReadySet bool
+
+	// suspendCtr is atomic (not under mu) so the suspend/unsuspend fast
+	// paths — two per parked task — touch no lock. addResumed decrements
+	// it only AFTER publishing the task to resumed, so an observer that
+	// reads suspendCtr == 0 and then finds resumed empty under mu cannot
+	// be missing an in-flight resumption (see idle).
+	suspendCtr atomic.Int64
+
 	mu           sync.Mutex
-	suspendCtr   int
 	resumed      []*task
 	inResumedSet bool
 }
@@ -31,10 +43,10 @@ func newRdeque(owner *worker) *rdeque {
 }
 
 // suspend records that a task belonging to this deque has suspended.
+//
+//lhws:nonblocking
 func (d *rdeque) suspend() {
-	d.mu.Lock()
-	d.suspendCtr++
-	d.mu.Unlock()
+	d.suspendCtr.Add(1)
 }
 
 // unsuspend reverses a suspend that never committed — the fast path of an
@@ -42,9 +54,7 @@ func (d *rdeque) suspend() {
 //
 //lhws:nonblocking
 func (d *rdeque) unsuspend() {
-	d.mu.Lock() //lhws:allowblock leaf mutex with O(1) critical section, never held across a wait
-	d.suspendCtr--
-	d.mu.Unlock()
+	d.suspendCtr.Add(-1)
 }
 
 // snapshot reads the suspension counter and pending-resume count for
@@ -52,8 +62,9 @@ func (d *rdeque) unsuspend() {
 //
 //lhws:nonblocking
 func (d *rdeque) snapshot() (suspended, resumed int) {
+	suspended = int(d.suspendCtr.Load())
 	d.mu.Lock() //lhws:allowblock leaf mutex with O(1) critical section, never held across a wait
-	suspended, resumed = d.suspendCtr, len(d.resumed)
+	resumed = len(d.resumed)
 	d.mu.Unlock()
 	return
 }
@@ -61,16 +72,17 @@ func (d *rdeque) snapshot() (suspended, resumed int) {
 // addResumed is the resume callback (Figure 3, lines 1-5): called by timer
 // or future-completion goroutines when a suspended task becomes runnable
 // again. It appends the task to the deque's resumed set and registers the
-// deque with its owner.
+// deque with its owner. The suspension counter is decremented only after
+// the append is published (see the field comment).
 func (d *rdeque) addResumed(t *task) {
 	d.mu.Lock()
 	d.resumed = append(d.resumed, t)
-	d.suspendCtr--
 	first := !d.inResumedSet
 	if first {
 		d.inResumedSet = true
 	}
 	d.mu.Unlock()
+	d.suspendCtr.Add(-1)
 	if first {
 		d.owner.noteResumedDeque(d)
 	}
@@ -78,12 +90,15 @@ func (d *rdeque) addResumed(t *task) {
 
 // takeResumed removes and returns the resumed set, clearing the
 // registration flag. Called by the owner when injecting resumed tasks.
+// spare (possibly nil) becomes the deque's next resumed buffer, so the
+// owner can ping-pong recycled buffers through the resume path instead of
+// re-growing a fresh slice every storm.
 //
 //lhws:nonblocking
-func (d *rdeque) takeResumed() []*task {
+func (d *rdeque) takeResumed(spare []*task) []*task {
 	d.mu.Lock() //lhws:allowblock leaf mutex with O(1) critical section, never held across a wait
 	ts := d.resumed
-	d.resumed = nil
+	d.resumed = spare
 	d.inResumedSet = false
 	d.mu.Unlock()
 	return ts
@@ -94,8 +109,15 @@ func (d *rdeque) takeResumed() []*task {
 //
 //lhws:nonblocking
 func (d *rdeque) idle() bool {
+	// Order matters: read suspendCtr before the resumed set. A resumption
+	// in flight decrements the counter only after appending to resumed,
+	// so counter == 0 first and resumed empty second cannot both hold
+	// around a missed resumption.
+	if d.suspendCtr.Load() != 0 {
+		return false
+	}
 	d.mu.Lock() //lhws:allowblock leaf mutex with O(1) critical section, never held across a wait
-	ok := d.suspendCtr == 0 && len(d.resumed) == 0 && !d.inResumedSet
+	ok := len(d.resumed) == 0 && !d.inResumedSet
 	d.mu.Unlock()
 	return ok && d.q.Empty()
 }

@@ -157,18 +157,22 @@ func Run(cfg Config, root func(*Ctx)) (*Stats, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("%w: Workers must be >= 1, got %d", ErrConfig, cfg.Workers)
 	}
-	rt := &runtimeState{cfg: cfg, done: make(chan struct{})}
+	rt := &runtimeState{cfg: cfg, done: make(chan struct{}), poolStop: make(chan struct{})}
+	rt.trackSuspends = cfg.StallTimeout > 0
 	rt.root = newCancelScope(rt, nil)
 	seeds := rng.New(cfg.Seed)
+	rt.shards = make([]statShard, cfg.Workers)
 	rt.workers = make([]*worker, cfg.Workers)
 	for i := range rt.workers {
 		rt.workers[i] = newWorker(rt, i, seeds.Split())
 	}
 
+	// The root task is never recycled (recycle=false from newTask): Run
+	// reads rootTask.err after the pool drains.
 	rootTask := newTask(rt, root)
 	rootTask.scope = rt.root
 	rt.liveTasks.Add(1)
-	rt.stats.TasksSpawned.Add(1)
+	rt.shards[0].tasksSpawned.Add(1)
 	w0 := rt.workers[0]
 	w0.assigned = rootTask
 
@@ -191,6 +195,8 @@ func Run(cfg Config, root func(*Ctx)) (*Stats, error) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	// The run has drained: release every parked pooled task goroutine.
+	close(rt.poolStop)
 	close(watchStop)
 	rt.root.release()
 
@@ -205,18 +211,21 @@ func Run(cfg Config, root func(*Ctx)) (*Stats, error) {
 	}
 
 	st := &Stats{
-		TasksRun:           rt.stats.TasksRun.Load(),
-		TasksSpawned:       rt.stats.TasksSpawned.Load(),
 		TasksCanceled:      rt.stats.TasksCanceled.Load(),
 		TasksPanicked:      rt.stats.TasksPanicked.Load(),
-		Suspensions:        rt.stats.Suspensions.Load(),
-		Switches:           rt.stats.Switches.Load(),
-		StealAttempts:      rt.stats.StealAttempts.Load(),
-		Steals:             rt.stats.Steals.Load(),
 		MaxDequesPerWorker: rt.stats.MaxDeques.Load(),
 		Stalled:            rt.stalled.Load(),
 		SuppressedErrors:   suppressed,
 		Wall:               wall,
+	}
+	for i := range rt.shards {
+		s := &rt.shards[i]
+		st.TasksRun += s.tasksRun.Load()
+		st.TasksSpawned += s.tasksSpawned.Load()
+		st.Suspensions += s.suspensions.Load()
+		st.Switches += s.switches.Load()
+		st.StealAttempts += s.stealAttempts.Load()
+		st.Steals += s.steals.Load()
 	}
 	return st, err
 }
@@ -227,9 +236,6 @@ type runtimeState struct {
 	workers   []*worker
 	root      *cancelScope
 	liveTasks atomic.Int64
-	// running counts workers currently granting their slot to a task;
-	// the watchdog reads it to tell "quiet" from "stalled".
-	running atomic.Int64
 	// pendingWakes counts wakeups that are scheduled but not yet
 	// delivered (armed Latency timers, fault-delayed re-injections): a
 	// run with pending wakes is waiting, not stalled.
@@ -238,7 +244,15 @@ type runtimeState struct {
 	done         chan struct{}
 	doneOnce     sync.Once
 	stats        atomicStats
-	susReg       suspendRegistry
+	shards       []statShard // per-worker hot counters (see stats.go)
+	pools        runtimePools
+	// poolStop, closed when the run drains, releases every pooled task
+	// goroutine parked between lives (see task.main).
+	poolStop chan struct{}
+	// trackSuspends mirrors StallTimeout > 0: the suspension registry is
+	// maintained only for the watchdog (see wait.go).
+	trackSuspends bool
+	susReg        suspendRegistry
 
 	errMu      sync.Mutex
 	firstErr   error
@@ -269,15 +283,11 @@ func (rt *runtimeState) recordFatal(err error) {
 	rt.root.cancel(err)
 }
 
+// atomicStats holds the cold global counters; the per-quantum hot
+// counters are sharded per worker in statShard (see stats.go).
 type atomicStats struct {
-	TasksRun      atomic.Int64
-	TasksSpawned  atomic.Int64
 	TasksCanceled atomic.Int64
 	TasksPanicked atomic.Int64
-	Suspensions   atomic.Int64
-	Switches      atomic.Int64
-	StealAttempts atomic.Int64
-	Steals        atomic.Int64
 	MaxDeques     atomic.Int32
 }
 

@@ -22,20 +22,34 @@ const (
 // resume channel and sending a report, so at most one of {worker loop,
 // its current task} is active per worker at any instant. That mutual
 // exclusion is what makes owner-side deque operations from task code safe.
+//
+// Task shells are pooled: when a recyclable task reports done, its worker
+// returns the shell — struct, resume/report channels, and the parked
+// goroutine — to the worker-local free list (overflowing into the
+// runtime's sync.Pool), and Ctx.Spawn reuses it for the next child instead
+// of paying newTask + go t.main(). The goroutine survives across lives by
+// looping in main; it exits when the run closes rt.poolStop.
+//
+// epoch is deliberately NOT reset between lives: the suspension-claim CAS
+// in waiter.wake relies on it increasing monotonically for the lifetime of
+// the shell, so a stale wakeup aimed at a previous life can never claim a
+// suspension of the current one.
 type task struct {
 	rt      *runtimeState
 	fn      func(*Ctx)
 	resume  chan *worker    // scheduler → task: run on this worker
 	report  chan reportKind // task → scheduler: done or suspended
 	started bool            // goroutine launched (owner-role access only)
+	recycle bool            // shell returns to the pool on completion
 	home    *rdeque         // deque the task belongs to while suspended
 	w       *worker         // current worker; task-goroutine access only
 	scope   *cancelScope    // cancellation scope the task was spawned under
 	fut     *Future         // completion future (nil for the root task)
+	ctx     Ctx             // the task's Ctx, re-initialized each life
 
 	// epoch is the suspension epoch: odd while a suspension is open,
 	// advanced by beginWait and by the (unique) claiming wakeup. See
-	// waiter.
+	// waiter. Monotonic across pooled lives — never reset.
 	epoch atomic.Uint64
 	// wakeErr is set by the claiming waker before re-injection when the
 	// wake is a cancellation abort; the resume handoff publishes it.
@@ -45,6 +59,7 @@ type task struct {
 	err error
 }
 
+//lhws:nonblocking
 func newTask(rt *runtimeState, fn func(*Ctx)) *task {
 	return &task{
 		rt:     rt,
@@ -54,19 +69,36 @@ func newTask(rt *runtimeState, fn func(*Ctx)) *task {
 	}
 }
 
-// main is the task goroutine body: wait for the first grant, run the user
-// function, then report completion. A panic in the user function is
-// recorded as the run's fatal error (surfaced from Run) and unified with
-// cancellation: it cancels the root scope so every other task unwinds and
-// the run drains instead of hanging or leaking goroutines. A cancelPanic —
-// the cooperative-cancellation unwind — becomes the task's error without
+// main is the task goroutine body: each iteration is one task life — wait
+// for the first grant, run the current user function, report — after which
+// the shell may be re-armed with a new fn by Spawn. Between lives the
+// goroutine parks on the resume channel; rt.poolStop is closed when the
+// run drains, releasing every parked shell goroutine (no leaks).
+func (t *task) main() {
+	for {
+		select {
+		case w := <-t.resume:
+			t.w = w
+			t.runOne()
+		case <-t.rt.poolStop:
+			return
+		}
+	}
+}
+
+// runOne runs one life of the shell: the user function, then the
+// completion protocol. A panic in the user function is recorded as the
+// run's fatal error (surfaced from Run) and unified with cancellation: it
+// cancels the root scope so every other task unwinds and the run drains
+// instead of hanging or leaking goroutines. A cancelPanic — the
+// cooperative-cancellation unwind — becomes the task's error without
 // being fatal to the run. Either way the task's future completes (with the
 // error) so joins unwind, and the task reports done so its worker
-// continues.
-func (t *task) main() {
-	w := <-t.resume
-	t.w = w
-	c := &Ctx{t: t, scope: t.scope}
+// continues. After the report send the goroutine must not touch any task
+// field: the worker may already be recycling the shell into a new life.
+func (t *task) runOne() {
+	t.ctx = Ctx{t: t, scope: t.scope}
+	c := &t.ctx
 	defer func() {
 		if r := recover(); r != nil {
 			if cp, ok := r.(cancelPanic); ok {
@@ -111,18 +143,35 @@ func (c *Ctx) Worker() int { return c.t.w.id }
 // when the child finishes; if the child panics or is canceled, the
 // Future's Err records why. The child inherits c's cancellation scope.
 //
+// The child's shell comes from the worker's task free list, so a
+// steady-state spawn costs one Future allocation plus the closure.
+//
 //lhws:owner a running task holds its worker's owner role between resume and report (see task)
 func (c *Ctx) Spawn(f func(*Ctx)) *Future {
+	return c.spawn(f, newFuture())
+}
+
+// spawnPooled is Spawn with a pool-recycled Future. Internal only: the
+// caller must consume the returned future with awaitConsume exactly once
+// and must not retain or share it afterwards — the future returns to the
+// pool when awaitConsume returns. Used by the structured fork-join
+// primitives (For) and the hot-path benchmarks, where the future provably
+// never escapes its single awaiter.
+func (c *Ctx) spawnPooled(f func(*Ctx)) *Future {
+	return c.spawn(f, c.t.w.acquireFuture())
+}
+
+//lhws:owner a running task holds its worker's owner role between resume and report (see task)
+func (c *Ctx) spawn(f func(*Ctx), fut *Future) *Future {
 	c.checkpoint()
-	fut := newFuture()
-	child := newTask(c.t.rt, f)
+	child := c.t.w.acquireTask(f)
 	child.scope = c.scope
 	child.fut = fut
 	c.t.rt.liveTasks.Add(1)
-	c.t.rt.stats.TasksSpawned.Add(1)
+	c.t.w.stat.tasksSpawned.Add(1)
 	// The running task holds the owner role of its worker, so pushing onto
 	// the active deque is owner-side and safe.
-	c.t.w.active.q.PushBottom(child)
+	c.t.w.active.q.PushBottom(c.t.w.newTaskNode(child))
 	return fut
 }
 
@@ -146,16 +195,25 @@ func (c *Ctx) Latency(d time.Duration) {
 	t := c.t
 	home := c.t.w.active
 	home.suspend()
-	wt := t.beginWait("latency", home)
+	wt := t.beginWait("latency", home, nil)
 	t.rt.pendingWakes.Add(1)
+	wt.refs.Add(1) // timer reference, consumed by deliver
 	wt.timer = time.AfterFunc(d, func() {
 		defer t.rt.pendingWakes.Add(-1)
 		wt.deliver(faultpoint.ResumeInject)
 	})
-	if err := c.scope.addWait(wt, wt.abort); err != nil {
-		wt.abort(err)
-	}
+	c.armScope(wt)
 	c.finishWait(wt)
+}
+
+// armScope registers the open suspension with the task's cancellation
+// scope so a cancel aborts the wait. It owns the scope reference taken in
+// beginWait: if the scope is already canceled the abort path (which
+// consumes the reference) runs inline.
+func (c *Ctx) armScope(wt *waiter) {
+	if err := c.scope.addWait(wt, wt); err != nil {
+		wt.abortWait(err)
+	}
 }
 
 // injectFault runs the task-side fault point p (it may sleep or panic);

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lhws/internal/faultpoint"
@@ -16,12 +17,34 @@ import (
 // epoch captured at suspension time is only valid until someone
 // advances it, so duplicated or stale wakeups — including a delayed
 // duplicate arriving after the task has already suspended again
-// elsewhere — fail the CAS and fall away harmlessly.
+// elsewhere, or after the task's pooled shell has been reused for a new
+// life — fail the CAS and fall away harmlessly (shell epochs are never
+// reset; see task).
+//
+// Waiters are pooled. Recycling is reference-counted: refs counts the
+// parties that may still dereference the waiter — the suspending task
+// (through finishWait), the registered cancellation abort, and each
+// armed event delivery (timer, queue entry, future waiter entry,
+// fault-injected duplicate). A waiter returns to the pool only at
+// refcount zero, so a late waker always sees the frozen epoch of the
+// suspension it was armed for, never a recycled waiter's.
 type waiter struct {
 	t     *task
 	epoch uint64
 	home  *rdeque
 	timer *time.Timer // pending Latency timer, stopped on abort
+	// src, when non-nil, is the queue the waiter is parked on (a Future
+	// or a Chan); the cancellation abort asks it to dequeue the waiter
+	// before waking it.
+	src  wakeSource
+	refs atomic.Int32
+}
+
+// wakeSource is a wakeup queue a waiter can be parked on. cancelWait
+// must remove wt from the queue if still present (releasing the event
+// reference the queue held) and then wake wt with err.
+type wakeSource interface {
+	cancelWait(wt *waiter, err error)
 }
 
 // beginWait opens a suspension: it advances the task's epoch (odd =
@@ -29,19 +52,44 @@ type waiter struct {
 // suspension in the runtime's registry for watchdog diagnostics. It
 // runs task-side, before the waiter is published to any wakeup source.
 // The caller has already called home.suspend().
-func (t *task) beginWait(site string, home *rdeque) *waiter {
+//
+// The returned waiter starts with two references: the task's own
+// (released at the end of finishWait) and the cancellation scope's
+// (consumed by abortWait, or released by finishWait when the wait
+// deregisters cleanly). Event sources add their own before publishing.
+func (t *task) beginWait(site string, home *rdeque, src wakeSource) *waiter {
 	t.home = home
 	e := t.epoch.Add(1)
-	wt := &waiter{t: t, epoch: e, home: home}
+	wt := t.rt.getWaiter()
+	wt.t = t
+	wt.epoch = e
+	wt.home = home
+	wt.timer = nil
+	wt.src = src
+	wt.refs.Store(2)
 	t.rt.noteSuspend(t, site, t.w.id, home)
-	t.rt.stats.Suspensions.Add(1)
+	t.w.stat.suspensions.Add(1)
 	return wt
+}
+
+// release drops one reference; the party dropping the last one returns
+// the waiter to the pool.
+func (wt *waiter) release() {
+	rt := wt.t.rt
+	if wt.refs.Add(-1) == 0 {
+		wt.t = nil
+		wt.home = nil
+		wt.timer = nil
+		wt.src = nil
+		rt.pools.waiters.Put(wt)
+	}
 }
 
 // wake claims the suspension and re-injects the task onto its deque's
 // resumed set. abortErr non-nil marks a cancellation wake: the task
 // will unwind with that error instead of continuing its operation.
-// Returns false if another wakeup already claimed this suspension.
+// Returns false if another wakeup already claimed this suspension. The
+// caller must hold a reference; wake itself does not release one.
 func (wt *waiter) wake(abortErr error) bool {
 	t := wt.t
 	if !t.epoch.CompareAndSwap(wt.epoch, wt.epoch+1) {
@@ -56,55 +104,84 @@ func (wt *waiter) wake(abortErr error) bool {
 	return true
 }
 
-// abort is the cancellation wake: it stops a pending Latency timer
-// (reclaiming its pending-wake accounting) and wakes the task with err.
-func (wt *waiter) abort(err error) {
+// abortWait is the cancellation abort: it stops a pending Latency timer
+// (reclaiming its pending-wake accounting), dequeues the waiter from its
+// wake source if it is parked on one, and wakes the task with err. It
+// consumes the scope reference, so it must be called exactly once — by
+// the canceling scope, or inline by armScope when registration finds the
+// scope already canceled. waiter's abortWait implements the scope's
+// aborter interface.
+func (wt *waiter) abortWait(err error) {
 	if wt.timer != nil && wt.timer.Stop() {
 		wt.t.rt.pendingWakes.Add(-1)
 	}
-	wt.wake(err)
+	if wt.src != nil {
+		wt.src.cancelWait(wt, err)
+	} else {
+		wt.wake(err)
+	}
+	wt.release()
 }
 
 // deliver passes a normal wakeup through the configured fault injector:
 // Drop loses it, Delay defers it, Dup delivers it twice. Aborts bypass
 // deliver entirely so cancellation and watchdog recovery stay reliable
-// even under 100% fault rates.
+// even under 100% fault rates. deliver consumes the caller's event
+// reference (transferring it into the delayed closure when the injector
+// defers the wake).
 func (wt *waiter) deliver(p faultpoint.Point) {
 	rt := wt.t.rt
 	inj := rt.cfg.Faults
 	if inj == nil {
 		wt.wake(nil)
+		wt.release()
 		return
 	}
 	switch act, d := inj.Decide(p); act {
 	case faultpoint.Drop:
 		// Lost wakeup: the task stays suspended until the watchdog or a
 		// cancellation aborts it.
+		wt.release()
 	case faultpoint.Delay:
 		rt.pendingWakes.Add(1)
 		time.AfterFunc(d, func() {
 			defer rt.pendingWakes.Add(-1)
 			wt.wake(nil)
+			wt.release()
 		})
 	case faultpoint.Dup:
+		wt.refs.Add(1) // the duplicate delivery's reference
 		wt.wake(nil)
 		rt.pendingWakes.Add(1)
 		time.AfterFunc(d, func() {
 			defer rt.pendingWakes.Add(-1)
 			wt.wake(nil) // stale epoch: discarded by the claim CAS
+			wt.release()
 		})
+		wt.release()
 	default:
 		wt.wake(nil)
+		wt.release()
 	}
 }
 
 // finishWait yields to the worker loop and, once resumed, deregisters
-// the wait from the scope and unwinds if the wake was an abort.
+// the wait from the scope, releases the task's references, and unwinds
+// if the wake was an abort.
 func (c *Ctx) finishWait(wt *waiter) {
 	c.yield()
-	c.scope.removeWait(wt)
-	if err := c.t.wakeErr; err != nil {
-		c.t.wakeErr = nil
+	if c.scope.removeWait(wt) {
+		// Deregistered before the scope fired: the scope's abort will
+		// never run, so its reference is released here. If removeWait
+		// found nothing, a concurrent (or past) cancel owns the abort
+		// path and consumes that reference itself; the refcount keeps
+		// the waiter alive — with its stale epoch — until it has.
+		wt.release()
+	}
+	err := c.t.wakeErr
+	c.t.wakeErr = nil
+	wt.release() // the task's own reference
+	if err != nil {
 		panic(cancelPanic{err: err})
 	}
 }
@@ -120,15 +197,19 @@ type suspendInfo struct {
 }
 
 // suspendRegistry tracks every outstanding suspension for stall
-// diagnostics. The map is touched once on suspend and once on wake —
-// suspensions already pay for timer or queue bookkeeping, so the extra
-// leaf mutex is noise next to the latency being hidden.
+// diagnostics. It is maintained only when the watchdog is armed
+// (Config.StallTimeout > 0) — its sole consumer — so runs without a
+// watchdog pay one predictable branch per suspension instead of two
+// mutex acquisitions and two map operations.
 type suspendRegistry struct {
 	mu sync.Mutex
 	m  map[*task]suspendInfo
 }
 
 func (rt *runtimeState) noteSuspend(t *task, site string, worker int, home *rdeque) {
+	if !rt.trackSuspends {
+		return
+	}
 	rt.susReg.mu.Lock()
 	if rt.susReg.m == nil {
 		rt.susReg.m = make(map[*task]suspendInfo)
@@ -138,6 +219,9 @@ func (rt *runtimeState) noteSuspend(t *task, site string, worker int, home *rdeq
 }
 
 func (rt *runtimeState) dropSuspend(t *task) {
+	if !rt.trackSuspends {
+		return
+	}
 	rt.susReg.mu.Lock()
 	delete(rt.susReg.m, t)
 	rt.susReg.mu.Unlock()

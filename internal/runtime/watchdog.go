@@ -100,9 +100,9 @@ func (rt *runtimeState) watchdog(stop <-chan struct{}) {
 			return
 		case <-tick.C:
 		}
-		run := rt.stats.TasksRun.Load()
+		run := rt.tasksRunTotal()
 		progressed := run != lastRun ||
-			rt.running.Load() > 0 ||
+			rt.runningTotal() > 0 ||
 			rt.pendingWakes.Load() > 0 ||
 			rt.liveTasks.Load() == 0
 		lastRun = run

@@ -11,9 +11,10 @@ import (
 // worker is one scheduling loop. In latency-hiding mode it owns a dynamic
 // collection of deques (one active); in blocking mode it owns exactly one.
 type worker struct {
-	rt  *runtimeState
-	id  int
-	rnd *rng.RNG
+	rt   *runtimeState
+	id   int
+	rnd  *rng.RNG
+	stat *statShard // this worker's hot-counter shard (see stats)
 
 	// mu guards the fields thieves and resume callbacks touch: the active
 	// pointer, the ready-deque list, and the resumed-deque list.
@@ -25,10 +26,19 @@ type worker struct {
 	assigned     *task
 	live         int32 // allocated deques owned (Lemma 7 observable)
 	failedSteals int
+
+	// Worker-local free lists (owner-role access only; see pool.go).
+	taskCache  []*task
+	futCache   []*Future
+	dqCache    []*rdeque
+	nodeCache  []*pforNode
+	batchCache []*pforBatch
+	sliceCache [][]*task
+	drainBuf   []*rdeque // spare resumedDq buffer, ping-ponged by drainResumed
 }
 
 func newWorker(rt *runtimeState, id int, r *rng.RNG) *worker {
-	return &worker{rt: rt, id: id, rnd: r}
+	return &worker{rt: rt, id: id, rnd: r, stat: &rt.shards[id]}
 }
 
 // loop is the latency-hiding scheduling loop (Figure 3). It must never
@@ -51,7 +61,7 @@ func (w *worker) loop() {
 		w.assigned = nil
 		if t == nil && w.active != nil {
 			if it, ok := w.active.q.PopBottom(); ok {
-				t = it.(*task)
+				t = w.resolveItem(it)
 			}
 		}
 		if t != nil {
@@ -86,7 +96,7 @@ func (w *worker) loopBlocking() {
 		w.assigned = nil
 		if t == nil {
 			if it, ok := w.active.q.PopBottom(); ok {
-				t = it.(*task)
+				t = w.resolveItem(it)
 			}
 		}
 		if t != nil {
@@ -108,43 +118,64 @@ func (w *worker) loopBlocking() {
 // runTask grants the worker's slot to the task and waits for it to either
 // finish or suspend. Also used inline by blocking-mode Await to help run
 // queued tasks. The running counter brackets the grant so the watchdog can
-// tell an actively executing run from a stalled one.
+// tell an actively executing run from a stalled one. A finished shell is
+// returned to the task free list here: the report-channel receive orders
+// every task-side write before the recycle.
 func (w *worker) runTask(t *task) reportKind {
-	w.rt.stats.TasksRun.Add(1)
-	w.rt.running.Add(1)
+	w.stat.tasksRun.Add(1)
+	w.stat.running.Add(1)
 	if !t.started {
 		t.started = true
 		go t.main()
 	}
 	t.resume <- w
 	r := <-t.report
-	w.rt.running.Add(-1)
+	w.stat.running.Add(-1)
+	if r == reportDone && t.recycle {
+		w.releaseTask(t)
+	}
 	return r
 }
 
-// drainResumed implements addResumedVertices (Figure 3, lines 7-14) at
-// task granularity: push every resumed task back onto its owning deque and
-// mark non-active deques ready. Per §6's simplifications, resumed tasks
-// are pushed individually rather than wrapped in a pfor closure.
+// drainResumed implements addResumedVertices (Figure 3, lines 7-14): for
+// each deque with pending resumed tasks, inject the whole batch as ONE
+// deque item — a pfor-tree node over the batch (see pfor.go) — and mark
+// non-active deques ready. Injection is O(1) per deque in the batch size;
+// the tree splits lazily as it is popped or stolen. A batch of one skips
+// the tree and pushes the task directly.
 //
 //lhws:nonblocking
 //lhws:owner runs on the worker-loop goroutine, which owns every deque it drains
 func (w *worker) drainResumed() {
 	w.mu.Lock() //lhws:allowblock leaf mutex with O(1) critical sections, never held across a wait
 	dqs := w.resumedDq
-	w.resumedDq = nil
-	w.mu.Unlock()
 	if len(dqs) == 0 {
+		w.mu.Unlock()
 		return
 	}
-	for _, d := range dqs {
-		for _, t := range d.takeResumed() {
-			d.q.PushBottom(t)
+	w.resumedDq = w.drainBuf
+	w.drainBuf = nil
+	w.mu.Unlock()
+	for i, d := range dqs {
+		dqs[i] = nil
+		ts := d.takeResumed(w.getSlice())
+		switch len(ts) {
+		case 0:
+			// Raced with a previous drain; nothing pending after all.
+			w.putSlice(ts)
+		case 1:
+			t := ts[0]
+			ts[0] = nil
+			d.q.PushBottom(w.newTaskNode(t))
+			w.putSlice(ts[:0])
+		default:
+			d.q.PushBottom(w.newBatchNode(ts))
 		}
 		if d != w.active {
 			w.addReady(d)
 		}
 	}
+	w.drainBuf = dqs[:0]
 }
 
 // noteResumedDeque registers a deque whose first resumed task just
@@ -155,25 +186,25 @@ func (w *worker) noteResumedDeque(d *rdeque) {
 	w.mu.Unlock()
 }
 
+// addReady appends d to the ready list; the inReadySet flag (guarded by
+// w.mu) makes membership O(1) instead of a list scan.
+//
 //lhws:nonblocking
 func (w *worker) addReady(d *rdeque) {
-	w.mu.Lock() //lhws:allowblock leaf mutex with O(ready) critical section, never held across a wait
-	found := false
-	for _, q := range w.ready {
-		if q == d {
-			found = true
-			break
-		}
-	}
-	if !found {
+	w.mu.Lock() //lhws:allowblock leaf mutex with O(1) critical section, never held across a wait
+	if !d.inReadySet {
+		d.inReadySet = true
 		w.ready = append(w.ready, d)
 	}
 	w.mu.Unlock()
 }
 
-// retireActive drops an exhausted active deque, or abandons it (keeping
-// ownership for pending callbacks) when tasks belonging to it are still
-// suspended.
+// retireActive drops an exhausted active deque — recycling it through the
+// worker's free list — or abandons it (keeping ownership for pending
+// callbacks) when tasks belonging to it are still suspended. Recycling an
+// idle deque is safe even against a thief still holding a pointer to it:
+// the Chase–Lev indices are never reset, so the stale thief performs an
+// ordinary steal against the deque's next contents (see pool.go).
 //
 //lhws:nonblocking
 func (w *worker) retireActive() {
@@ -188,6 +219,9 @@ func (w *worker) retireActive() {
 		w.live--
 	}
 	w.mu.Unlock()
+	if drop {
+		w.putRdeque(a)
+	}
 }
 
 // trySwitch activates one of the worker's ready deques (Figure 3,
@@ -202,19 +236,23 @@ func (w *worker) trySwitch() bool {
 		return false
 	}
 	d := w.ready[n-1]
+	w.ready[n-1] = nil
 	w.ready = w.ready[:n-1]
+	d.inReadySet = false
 	w.active = d
 	w.mu.Unlock()
-	w.rt.stats.Switches.Add(1)
+	w.stat.switches.Add(1)
 	return true
 }
 
 // trySteal performs one steal attempt under the §6 policy: choose a random
 // victim worker, then a random deque among its active and ready deques.
+// The candidate is indexed directly under the victim's lock — no candidate
+// slice is materialized on this path.
 //
 //lhws:nonblocking
 func (w *worker) trySteal() bool {
-	w.rt.stats.StealAttempts.Add(1)
+	w.stat.stealAttempts.Add(1)
 	if w.rt.failSteal() {
 		return false
 	}
@@ -222,15 +260,19 @@ func (w *worker) trySteal() bool {
 	if victim == nil {
 		return false
 	}
-	victim.mu.Lock() //lhws:allowblock leaf mutex on the victim, O(deques) critical section, never held across a wait
-	var cands []*rdeque
-	if victim.active != nil {
-		cands = append(cands, victim.active)
-	}
-	cands = append(cands, victim.ready...)
+	victim.mu.Lock() //lhws:allowblock leaf mutex on the victim, O(1) critical section, never held across a wait
 	var target *rdeque
-	if len(cands) > 0 {
-		target = cands[w.rnd.Intn(len(cands))]
+	nready := len(victim.ready)
+	total := nready
+	if victim.active != nil {
+		total++
+	}
+	if total > 0 {
+		if i := w.rnd.Intn(total); i < nready {
+			target = victim.ready[i]
+		} else {
+			target = victim.active
+		}
 	}
 	victim.mu.Unlock()
 	if target == nil {
@@ -240,15 +282,17 @@ func (w *worker) trySteal() bool {
 	if !ok {
 		return false
 	}
-	w.rt.stats.Steals.Add(1)
-	w.adoptDeque(newRdeque(w))
-	w.assigned = it.(*task)
+	w.stat.steals.Add(1)
+	w.adoptDeque(w.getRdeque())
+	// Resolve after adopting: a stolen pfor node splits onto the thief's
+	// fresh deque, leaving its left half-ranges stealable here.
+	w.assigned = w.resolveItem(it)
 	return true
 }
 
 //lhws:nonblocking
 func (w *worker) tryStealBlocking() bool {
-	w.rt.stats.StealAttempts.Add(1)
+	w.stat.stealAttempts.Add(1)
 	if w.rt.failSteal() {
 		return false
 	}
@@ -266,8 +310,8 @@ func (w *worker) tryStealBlocking() bool {
 	if !ok {
 		return false
 	}
-	w.rt.stats.Steals.Add(1)
-	w.assigned = it.(*task)
+	w.stat.steals.Add(1)
+	w.assigned = w.resolveItem(it)
 	return true
 }
 
@@ -302,15 +346,25 @@ func (w *worker) adoptDeque(d *rdeque) {
 	}
 }
 
-// backoff yields the processor between failed steal attempts, escalating
-// to short sleeps so timer goroutines can run even on GOMAXPROCS=1.
+// backoff yields the processor between failed steal attempts, then
+// escalates through a capped exponential sleep ladder (1µs doubling to
+// 100µs) so timer goroutines can run even on GOMAXPROCS=1 while an idle
+// worker's spin cost stays bounded. Reset on any successful pop or steal.
 //
 //lhws:nonblocking
 func (w *worker) backoff() {
 	w.failedSteals++
-	if w.failedSteals < 8 {
+	if w.failedSteals <= 8 {
 		goruntime.Gosched()
 		return
 	}
-	time.Sleep(50 * time.Microsecond) //lhws:allowblock deliberate bounded backoff after repeated failed steals; yields the P so timers fire on GOMAXPROCS=1
+	shift := w.failedSteals - 9
+	if shift > 7 {
+		shift = 7
+	}
+	d := time.Microsecond << uint(shift)
+	if d > 100*time.Microsecond {
+		d = 100 * time.Microsecond
+	}
+	time.Sleep(d) //lhws:allowblock deliberate bounded backoff after repeated failed steals; yields the P so timers fire on GOMAXPROCS=1
 }
