@@ -3,12 +3,15 @@ GO ?= go
 # Core packages whose hot paths the race/vet gates guard.
 CORE := ./internal/deque/... ./internal/runtime/... ./internal/sched/...
 
-.PHONY: all build test race race-core vet lint chaos bench-runtime bench-smoke ci figures clean
+.PHONY: all build test race race-core vet lint chaos bench-runtime bench-io bench-smoke ci figures clean
 
 all: build
 
+# build compiles both socket backends: the portable rotation dispatcher
+# (default) and the epoll readiness poller (lhwsepoll tag, linux only).
 build:
 	$(GO) build ./...
+	$(GO) build -tags lhwsepoll ./...
 
 test:
 	$(GO) test ./...
@@ -17,6 +20,7 @@ test:
 # is the quick local loop.
 race:
 	$(GO) test -race -count=1 ./...
+	$(GO) test -race -count=1 -tags lhwsepoll ./internal/io/
 
 race-core:
 	$(GO) test -race -count=1 $(CORE)
@@ -38,7 +42,7 @@ lint:
 # seeds baked into the tests. Runs must produce correct results or typed
 # errors with watchdog diagnostics — never hang (see DESIGN.md §7).
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/runtime/
+	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/runtime/ ./internal/io/
 
 # bench-runtime regenerates the hot-path microbenchmark record: the Go
 # benchmarks (ns/op + allocs/op) and the BENCH_runtime.json sweep with
@@ -47,6 +51,13 @@ chaos:
 bench-runtime:
 	$(GO) test -run '^$$' -bench 'SpawnAwaitLadder|WideFanout|StealHeavySkew|ResumeStorm' -benchmem -benchtime 1s ./internal/runtime/
 	$(GO) run ./cmd/lhws-bench -exp runtime
+
+# bench-io regenerates the real-socket echo record (BENCH_io.json): the
+# latency-hiding server must sustain >= 3x the blocking throughput at
+# C=64 connections and δ=50ms, with the bridge pool O(P) (see
+# EXPERIMENTS.md "Real-socket I/O").
+bench-io:
+	$(GO) run ./cmd/lhws-bench -exp io
 
 # bench-smoke is the CI form: every benchmark compiles and runs once, and
 # the AllocsPerRun gates assert the pooled hot paths stay allocation-free

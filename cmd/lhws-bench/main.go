@@ -7,12 +7,15 @@
 //	lhws-bench -exp fig11 [-delta 500] [-full] [-seed 1]
 //	lhws-bench -exp greedy|bound|lemmas|steals|uwidth|wallclock|all
 //	lhws-bench -exp runtime [-out BENCH_runtime.json]
+//	lhws-bench -exp io [-ioout BENCH_io.json]
 //
 // Output is a fixed-width table per experiment plus a PASS/FAIL line for
 // the experiment's shape check. -markdown switches tables to Markdown for
 // pasting into documents. -exp runtime additionally writes the hot-path
 // microbenchmark sweep (ns/op, allocs/op, baseline deltas) as JSON to
-// -out, the checked-in regression baseline.
+// -out, the checked-in regression baseline; -exp io writes the
+// real-socket echo comparison (latency-hiding vs blocking throughput at
+// δ=50ms) to -ioout likewise.
 package main
 
 import (
@@ -36,13 +39,14 @@ type tabler interface {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig11, greedy, bound, lemmas, steals, variants, potential, uwidth, wallclock, responsiveness, multiprog, scale, runtime, all")
-		deltaMS  = flag.Float64("delta", 0, "fig11 panel latency in ms (500, 50, 1); 0 runs all three panels")
-		full     = flag.Bool("full", false, "fig11 at the paper's full scale (n=5000) instead of the laptop scale (n=500)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		markdown = flag.Bool("markdown", false, "render tables as Markdown")
-		svgDir   = flag.String("svg", "", "directory to write Figure-11 panels as SVG plots (fig11 only)")
-		jsonOut  = flag.String("out", "BENCH_runtime.json", "output path for the -exp runtime JSON sweep")
+		exp       = flag.String("exp", "all", "experiment: fig11, greedy, bound, lemmas, steals, variants, potential, uwidth, wallclock, responsiveness, multiprog, scale, runtime, io, all")
+		deltaMS   = flag.Float64("delta", 0, "fig11 panel latency in ms (500, 50, 1); 0 runs all three panels")
+		full      = flag.Bool("full", false, "fig11 at the paper's full scale (n=5000) instead of the laptop scale (n=500)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		markdown  = flag.Bool("markdown", false, "render tables as Markdown")
+		svgDir    = flag.String("svg", "", "directory to write Figure-11 panels as SVG plots (fig11 only)")
+		jsonOut   = flag.String("out", "BENCH_runtime.json", "output path for the -exp runtime JSON sweep")
+		jsonOutIO = flag.String("ioout", "BENCH_io.json", "output path for the -exp io JSON comparison")
 	)
 	flag.Parse()
 
@@ -151,9 +155,35 @@ func main() {
 		})
 	}
 
+	if want("io") {
+		run("real-socket echo (latency hiding vs blocking, δ=50ms)", func() (tabler, error) {
+			r, err := experiments.IOBench(experiments.ScaledIOBench())
+			if err == nil {
+				if werr := writeIOJSON(*jsonOutIO, r); werr != nil {
+					fmt.Fprintf(os.Stderr, "json: %v\n", werr)
+					ok = false
+				}
+			}
+			return r, err
+		})
+	}
+
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// writeIOJSON writes the echo comparison as the BENCH_io.json record.
+func writeIOJSON(path string, r *experiments.IOBenchResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // writeRuntimeJSON writes the hot-path sweep as the BENCH_runtime.json

@@ -1,23 +1,36 @@
 // Crawler: a latency-bound fan-out workload beyond the paper's examples —
-// a synthetic web crawl where fetching a page incurs wall-clock latency and
-// discovered links are crawled as spawned tasks. Unlike map-reduce, the
-// fan-out is data-dependent (discovered during execution), demonstrating
-// that the scheduler needs no a-priori knowledge of the dag (§1: "the
-// scheduler works online").
+// a web crawl against a real TCP origin server, where every fetch is a
+// genuine socket roundtrip (dial, request, δ of server-side latency,
+// reply) and discovered links are crawled as spawned tasks. Unlike
+// map-reduce, the fan-out is data-dependent (discovered during
+// execution), demonstrating that the scheduler needs no a-priori
+// knowledge of the dag (§1: "the scheduler works online").
+//
+// The origin server is a plain goroutine-per-connection TCP server — the
+// external world, deliberately outside the task runtime — so the two
+// modes below differ only in how the crawler schedules its own waiting:
+// the blocking crawler holds a worker inside every dial and read, the
+// latency-hiding crawler suspends the task and the worker moves on.
 //
 //	go run ./examples/crawler [-depth 4] [-fanout 4] [-latency 4ms] [-workers 4]
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	goruntime "runtime"
 	"sync/atomic"
 	"time"
 
 	"lhws"
 )
+
+// Wire protocol: a request is an 8-byte big-endian url; the reply is the
+// 8-byte "page contents" (a hash the link generator feeds on).
+const wordBytes = 8
 
 // page is a synthetic fetched page: its identity determines its outgoing
 // links, so the "site graph" is deterministic without any stored data.
@@ -26,26 +39,79 @@ type page struct {
 	depth int
 }
 
-// fetch simulates an HTTP GET: latency, then the page contents.
-func fetch(c *lhws.Ctx, url uint64, latency time.Duration) uint64 {
-	c.Latency(latency)
-	// "Contents": a hash the link generator feeds on.
-	h := url * 0x9e3779b97f4a7c15
-	return h ^ (h >> 29)
+// originServer serves the synthetic site over real TCP: one request per
+// connection, each reply delayed by the per-fetch latency. Plain
+// goroutines throughout — this is the remote site, not the crawler.
+func originServer(latency time.Duration) (addr string, shutdown func()) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("origin: %v", err)
+	}
+	go func() {
+		for {
+			nc, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				nc.SetDeadline(time.Now().Add(30 * time.Second))
+				var req [wordBytes]byte
+				for off := 0; off < len(req); {
+					n, err := nc.Read(req[off:])
+					off += n
+					if err != nil {
+						return
+					}
+				}
+				time.Sleep(latency) // the site's response time
+				h := binary.BigEndian.Uint64(req[:]) * 0x9e3779b97f4a7c15
+				var reply [wordBytes]byte
+				binary.BigEndian.PutUint64(reply[:], h^(h>>29))
+				nc.Write(reply[:])
+			}(nc)
+		}
+	}()
+	return l.Addr().String(), func() { l.Close() }
+}
+
+// fetch is an HTTP-GET-shaped roundtrip on the task runtime: dial the
+// origin, send the url, await the contents. Every step that waits on the
+// network suspends the task (or, in blocking mode, holds the worker).
+func fetch(c *lhws.Ctx, addr string, url uint64) uint64 {
+	cn, err := lhws.IODial(c, "tcp", addr)
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	defer cn.Close()
+	var req [wordBytes]byte
+	binary.BigEndian.PutUint64(req[:], url)
+	if _, err := cn.Write(c, req[:]); err != nil {
+		log.Fatalf("write %d: %v", url, err)
+	}
+	var reply [wordBytes]byte
+	for off := 0; off < len(reply); {
+		n, err := cn.Read(c, reply[off:])
+		off += n
+		if err != nil {
+			log.Fatalf("read %d: %v", url, err)
+		}
+	}
+	return binary.BigEndian.Uint64(reply[:])
 }
 
 type crawler struct {
-	fanout  int
-	maxD    int
-	latency time.Duration
-	pages   atomic.Int64
-	bytes   atomic.Int64
+	addr   string
+	fanout int
+	maxD   int
+	pages  atomic.Int64
+	bytes  atomic.Int64
 }
 
 // crawl fetches one page and spawns a crawl of each discovered link,
 // awaiting them so the task tree joins back to the root.
 func (cr *crawler) crawl(c *lhws.Ctx, p page) {
-	contents := fetch(c, p.url, cr.latency)
+	contents := fetch(c, cr.addr, p.url)
 	cr.pages.Add(1)
 	cr.bytes.Add(int64(contents % 40960))
 	if p.depth >= cr.maxD {
@@ -65,7 +131,7 @@ func main() {
 	var (
 		depth   = flag.Int("depth", 4, "crawl depth")
 		fanout  = flag.Int("fanout", 4, "links per page")
-		latency = flag.Duration("latency", 4*time.Millisecond, "per-fetch latency")
+		latency = flag.Duration("latency", 4*time.Millisecond, "origin server response latency")
 		workers = flag.Int("workers", 4, "worker goroutines")
 	)
 	flag.Parse()
@@ -78,12 +144,15 @@ func main() {
 		total += c
 		c *= *fanout
 	}
-	fmt.Printf("crawl: depth %d, fanout %d → %d pages, δ=%v per fetch, %d workers\n",
+	fmt.Printf("crawl: depth %d, fanout %d → %d pages over real TCP, δ=%v per fetch, %d workers\n",
 		*depth, *fanout, total, *latency, *workers)
 	fmt.Printf("serialized latency alone: %v\n\n", time.Duration(total)*(*latency))
 
+	addr, shutdown := originServer(*latency)
+	defer shutdown()
+
 	for _, mode := range []lhws.RuntimeMode{lhws.Blocking, lhws.LatencyHiding} {
-		cr := &crawler{fanout: *fanout, maxD: *depth, latency: *latency}
+		cr := &crawler{addr: addr, fanout: *fanout, maxD: *depth}
 		st, err := lhws.RunTasks(lhws.RuntimeConfig{Workers: *workers, Mode: mode}, func(c *lhws.Ctx) {
 			cr.crawl(c, page{url: 1})
 		})

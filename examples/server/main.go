@@ -1,44 +1,53 @@
-// The "server" example (paper §5, Figure 10) on the real task runtime: a
-// request loop that awaits inputs arriving one at a time (each arrival
-// incurring latency), forks a handler per request, and reduces the handler
-// results. Only one receive is outstanding at any moment, so the dag's
-// suspension width is 1 — the paper's minimal-U example — yet the handlers
-// run in parallel with the waiting.
+// The "server" example (paper §5, Figure 10) on real sockets: requests
+// arrive over TCP, the accept loop awaits them one at a time (each
+// arrival a genuine heavy edge), forks a handler per request, and the
+// handlers answer on their own connections. Only one Accept is
+// outstanding at any moment, so the dag's suspension width is 1 — the
+// paper's minimal-U example — yet the handlers run in parallel with the
+// waiting.
 //
 // On top of the Figure 10 shape, each request runs under a per-request
 // deadline (Ctx.WithDeadline): handlers whose simulated backend is slow
-// are canceled mid-flight and surface lhws.ErrDeadline from AwaitErr as a
-// structured per-request outcome, while fast requests complete normally —
-// the server answers every request, on time or with a typed timeout,
-// instead of letting one slow backend stall the batch.
+// are canceled mid-flight and surface lhws.ErrDeadline from AwaitErr as
+// a structured per-request outcome, answered over the socket as a typed
+// timeout reply, while fast requests complete normally — the server
+// answers every request, on time or with a timeout, instead of letting
+// one slow backend stall the batch.
 //
-//	go run ./examples/server [-requests 30] [-arrival 3ms] [-workers 4]
+// The clients are plain goroutines dialing over loopback: the external
+// world, deliberately outside the task runtime, so that the comparison
+// below measures only how the server schedules its own waiting.
+//
+//	go run ./examples/server [-requests 20] [-arrival 4ms] [-workers 1]
 //	    [-deadline 25ms] [-slowevery 5]
 package main
 
 import (
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	goruntime "runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"lhws"
 )
 
-// getInput simulates waiting for the next request: real wall-clock arrival
-// latency during which (under latency hiding) the worker runs handlers.
-func getInput(c *lhws.Ctx, i, total int, arrival time.Duration) (int, bool) {
-	c.Latency(arrival)
-	if i >= total {
-		return 0, false // the user typed "Done"
-	}
-	return i * 7, true
-}
+// Wire protocol: a request is a 4-byte big-endian id; a reply is one
+// status byte (statusOK or statusTimeout) followed by an 8-byte value.
+const (
+	reqBytes      = 4
+	replyBytes    = 1 + 8
+	statusOK      = 0
+	statusTimeout = 1
+)
 
 // compute is f(x): per-request computation, sized comparable to the
-// arrival latency so that hiding the wait matters even on one worker.
+// arrival spacing so that hiding the waits matters even on one worker.
 func compute(x int) int64 {
 	acc := int64(x)
 	for i := 0; i < 3_000_000; i++ {
@@ -47,10 +56,10 @@ func compute(x int) int64 {
 	return acc%1000003 + int64(x)
 }
 
-// handle serves one request: a backend fetch (latency-incurring, staged so
-// a deadline can interrupt between stages even in blocking mode) followed
-// by the f(x) compute. Slow requests model a degraded backend: their
-// staged fetch far exceeds any reasonable deadline.
+// handle serves one request: a backend fetch (latency-incurring, staged
+// so a deadline can interrupt between stages even in blocking mode)
+// followed by the f(x) compute. Slow requests model a degraded backend:
+// their staged fetch far exceeds any reasonable deadline.
 func handle(cc *lhws.Ctx, x int, slow bool) int64 {
 	stages, stage := 1, time.Millisecond
 	if slow {
@@ -62,54 +71,109 @@ func handle(cc *lhws.Ctx, x int, slow bool) int64 {
 	return compute(x)
 }
 
-// outcome is one request's structured result.
-type outcome struct {
-	input int
-	slow  bool
-	res   *lhws.Value[int64]
-	done  func()
+// tally aggregates per-request outcomes across handler tasks.
+type tally struct {
+	sum      atomic.Int64
+	ok       atomic.Int64
+	timedOut atomic.Int64
 }
 
-// serve is Figure 10 in iterative form: get an input; if there is one,
-// fork its handler (the spawned thread) under a per-request deadline
-// while the server loop itself is the continuation — the dag of Figure 9,
-// where the getInput spine carries on and each f(x) hangs off it. The
-// joins then collect structured results: a sum over the requests that
-// made their deadline and a count of typed timeouts.
-func serve(c *lhws.Ctx, total, slowEvery int, arrival, deadline time.Duration) (sum int64, ok, timedOut int) {
-	var pending []outcome
-	for i := 0; ; i++ {
-		input, more := getInput(c, i, total, arrival)
-		if !more {
-			break
-		}
-		slow := slowEvery > 0 && i%slowEvery == slowEvery-1
-		hc, cancel := c.WithDeadline(deadline)
-		res := lhws.SpawnValue(hc, func(cc *lhws.Ctx) int64 {
-			return handle(cc, input, slow)
-		})
-		pending = append(pending, outcome{input: input, slow: slow, res: res, done: cancel})
-	}
-	for _, p := range pending {
-		v, err := p.res.AwaitErr(c) // join via the server's own ctx, not hc
-		p.done()
-		switch {
-		case err == nil:
-			sum += v
-			ok++
-		case errors.Is(err, lhws.ErrDeadline):
-			timedOut++
-		default:
-			log.Fatalf("request %d: unexpected error: %v", p.input, err)
+// serveConn answers the single request carried by cn: read x, run its
+// handler under what remains of the per-request deadline, reply with the
+// result or a typed timeout. The deadline clock started at Accept, so
+// time a queued handler spends waiting for a worker counts against it —
+// that is exactly the cost the blocking mode pays. The reply is written
+// from the handler's own ctx, not the deadline scope, so a timed-out
+// request still gets its answer.
+func serveConn(h *lhws.Ctx, cn *lhws.IOConn, arrived time.Time, slowEvery int, deadline time.Duration, tl *tally) {
+	defer cn.Close()
+	var req [reqBytes]byte
+	for off := 0; off < len(req); {
+		n, err := cn.Read(h, req[off:])
+		off += n
+		if err != nil {
+			log.Fatalf("read request: %v", err)
 		}
 	}
-	return sum, ok, timedOut
+	x := int(binary.BigEndian.Uint32(req[:]))
+	slow := slowEvery > 0 && x%slowEvery == slowEvery-1
+
+	hc, cancel := h.WithDeadline(deadline - time.Since(arrived))
+	res := lhws.SpawnValue(hc, func(cc *lhws.Ctx) int64 {
+		return handle(cc, x, slow)
+	})
+	v, err := res.AwaitErr(h) // join via the handler's own ctx, not hc
+	cancel()
+
+	var reply [replyBytes]byte
+	switch {
+	case err == nil:
+		reply[0] = statusOK
+		binary.BigEndian.PutUint64(reply[1:], uint64(v))
+		tl.sum.Add(v)
+		tl.ok.Add(1)
+	case errors.Is(err, lhws.ErrDeadline):
+		reply[0] = statusTimeout
+		tl.timedOut.Add(1)
+	default:
+		log.Fatalf("request %d: unexpected error: %v", x, err)
+	}
+	if _, werr := cn.Write(h, reply[:]); werr != nil {
+		log.Fatalf("write reply %d: %v", x, werr)
+	}
+}
+
+// serve is Figure 10 with a real socket as the input stream: accept a
+// connection (the latency-incurring getInput); fork its handler (the
+// spawned thread) while the accept spine itself is the continuation —
+// the dag of Figure 9, where the Accept spine carries on and each f(x)
+// hangs off it. After the last arrival the spine joins every handler.
+func serve(c *lhws.Ctx, l *lhws.IOListener, total, slowEvery int, deadline time.Duration, tl *tally) {
+	var futs []*lhws.Future
+	for i := 0; i < total; i++ {
+		cn, err := l.Accept(c)
+		if err != nil {
+			log.Fatalf("accept: %v", err)
+		}
+		arrived := time.Now()
+		futs = append(futs, c.Spawn(func(h *lhws.Ctx) {
+			serveConn(h, cn, arrived, slowEvery, deadline, tl)
+		}))
+	}
+	for _, f := range futs {
+		f.Await(c)
+	}
+}
+
+// client is one plain-goroutine user: dial, send one request, read the
+// reply. Returns the status byte.
+func client(addr string, id int) (byte, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, err
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(30 * time.Second))
+	var req [reqBytes]byte
+	binary.BigEndian.PutUint32(req[:], uint32(id))
+	if _, err := nc.Write(req[:]); err != nil {
+		return 0, err
+	}
+	var reply [replyBytes]byte
+	for off := 0; off < len(reply); {
+		n, err := nc.Read(reply[off:])
+		off += n
+		if err != nil {
+			return 0, err
+		}
+	}
+	return reply[0], nil
 }
 
 func main() {
 	var (
 		requests  = flag.Int("requests", 20, "requests before shutdown")
-		arrival   = flag.Duration("arrival", 4*time.Millisecond, "request arrival latency")
+		arrival   = flag.Duration("arrival", 4*time.Millisecond, "spacing between client arrivals")
 		workers   = flag.Int("workers", 1, "worker goroutines")
 		deadline  = flag.Duration("deadline", 25*time.Millisecond, "per-request deadline")
 		slowEvery = flag.Int("slowevery", 5, "every Nth request hits a slow backend (0 = never)")
@@ -123,31 +187,69 @@ func main() {
 	if *slowEvery > 0 {
 		slowCount = *requests / *slowEvery
 	}
-	fmt.Printf("server: %d requests arriving every %v, %d worker(s)\n", *requests, *arrival, *workers)
+	fmt.Printf("server: %d TCP requests arriving every %v, %d worker(s)\n", *requests, *arrival, *workers)
 	fmt.Printf("per-request deadline %v; %d request(s) hit a slow backend and should time out\n\n",
 		*deadline, slowCount)
 
 	for _, mode := range []lhws.RuntimeMode{lhws.Blocking, lhws.LatencyHiding} {
-		var sum int64
-		var ok, timedOut int
+		var tl tally
+		var clientTimeouts atomic.Int64
+
+		addrCh := make(chan string, 1)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { // the outside world: staggered client arrivals
+			defer wg.Done()
+			addr := <-addrCh
+			var cwg sync.WaitGroup
+			for i := 0; i < *requests; i++ {
+				cwg.Add(1)
+				go func(id int) {
+					defer cwg.Done()
+					status, err := client(addr, id)
+					if err != nil {
+						log.Fatalf("client %d: %v", id, err)
+					}
+					if status == statusTimeout {
+						clientTimeouts.Add(1)
+					}
+				}(i)
+				time.Sleep(*arrival)
+			}
+			cwg.Wait()
+		}()
+
 		st, err := lhws.RunTasks(lhws.RuntimeConfig{Workers: *workers, Mode: mode}, func(c *lhws.Ctx) {
-			sum, ok, timedOut = serve(c, *requests, *slowEvery, *arrival, *deadline)
+			l, lerr := lhws.IOListen(c, "tcp", "127.0.0.1:0")
+			if lerr != nil {
+				log.Fatalf("listen: %v", lerr)
+			}
+			defer l.Close()
+			addrCh <- l.Addr().String()
+			serve(c, l, *requests, *slowEvery, *deadline, &tl)
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-15s wall %-12v ok %-3d timeout %-3d sum %-8d suspensions %-4d max deques/worker %d\n",
-			mode.String()+":", st.Wall.Round(time.Millisecond), ok, timedOut, sum,
+		wg.Wait()
+
+		ok, timedOut := tl.ok.Load(), tl.timedOut.Load()
+		fmt.Printf("%-15s wall %-12v ok %-3d timeout %-3d sum %-10d suspensions %-4d max deques/worker %d\n",
+			mode.String()+":", st.Wall.Round(time.Millisecond), ok, timedOut, tl.sum.Load(),
 			st.Suspensions, st.MaxDequesPerWorker)
-		if ok+timedOut != *requests {
+		if ok+timedOut != int64(*requests) {
 			log.Fatalf("lost requests: %d ok + %d timeout != %d", ok, timedOut, *requests)
 		}
+		if clientTimeouts.Load() != timedOut {
+			log.Fatalf("client-side timeouts %d disagree with server-side %d",
+				clientTimeouts.Load(), timedOut)
+		}
 	}
-	fmt.Println("\nThe blocking server alternates wait, handle, wait, handle — paying")
-	fmt.Println("arrival latency plus compute, so queueing delay counts against each")
-	fmt.Println("request's deadline and fast requests can time out behind slow ones.")
-	fmt.Println("The latency-hiding server computes handlers during the waits (at")
-	fmt.Println("most two deques per worker with U = 1, Lemma 7) and makes more")
-	fmt.Println("deadlines; either way a slow backend surfaces as a typed")
-	fmt.Println("ErrDeadline timeout instead of stalling the whole batch.")
+	fmt.Println("\nThe blocking server holds its worker inside every pending Accept,")
+	fmt.Println("Read and backend wait, so it alternates wait, handle, wait, handle —")
+	fmt.Println("paying arrival latency plus compute in sequence. The latency-hiding")
+	fmt.Println("server suspends the task instead and computes handlers during the")
+	fmt.Println("waits (at most two deques per worker with U = 1, Lemma 7). Either")
+	fmt.Println("way the deadline clock starts at Accept and a slow backend surfaces")
+	fmt.Println("as a typed timeout reply on the wire instead of stalling the batch.")
 }

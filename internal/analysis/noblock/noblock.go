@@ -31,12 +31,23 @@
 // critical section, the task-grant handoff, deliberate backoff — are
 // acknowledged with a statement-level //lhws:allowblock directive whose
 // argument must state the justification.
+//
+// Independently of the directive, the analyzer checks task code: any
+// function or closure that takes a *runtime.Ctx parameter runs on a
+// worker, so a bare net call inside it (conn.Read, listener.Accept,
+// net.Dial, DNS lookups) parks that worker for the operation's full
+// latency — precisely the blocking baseline the latency-hiding
+// scheduler exists to beat. Such calls are flagged with a pointer to
+// lhws/internal/io, whose Conn/Listener/Dial suspend the task through a
+// heavy edge instead. //lhws:allowblock acknowledges deliberate
+// exceptions (an immediate bind, a diagnostic path).
 package noblock
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"lhws/internal/analysis"
 )
@@ -65,7 +76,23 @@ var blockingCalls = map[string]string{
 	"(*lhws/internal/faultpoint.Injector).Inject": "sleeps or panics by design (chaos injection); worker hot paths must use Decide and act non-blockingly",
 }
 
+// netBlockingNames are the package-net functions and methods (on any of
+// net's conn/listener types or interfaces) that park the calling
+// goroutine for a network round trip.
+var netBlockingNames = map[string]bool{
+	"Read":        true,
+	"Write":       true,
+	"Accept":      true,
+	"Dial":        true,
+	"DialContext": true,
+	"DialTimeout": true,
+	"Listen":      true,
+	"ReadFrom":    true,
+	"WriteTo":     true,
+}
+
 func run(pass *analysis.Pass) error {
+	checkTaskNet(pass)
 	// First pass: which same-package functions are declared nonblocking?
 	nonblocking := make(map[types.Object]bool)
 	for _, file := range pass.Files {
@@ -93,6 +120,81 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 	return nil
+}
+
+// checkTaskNet flags bare net calls in task code — every FuncDecl and
+// FuncLit whose parameters include a *runtime.Ctx.
+func checkTaskNet(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = n.Type, n.Body
+			case *ast.FuncLit:
+				ft, body = n.Type, n.Body
+			default:
+				return true
+			}
+			if body == nil || !hasCtxParam(pass, ft) {
+				return true
+			}
+			checkNetCalls(pass, body)
+			return true // nested task closures still get their own visit
+		})
+	}
+}
+
+func checkNetCalls(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested closure is checked on its own terms: with a Ctx
+			// param it is task code itself; without one its execution
+			// context is unknowable here.
+			return false
+		case *ast.CallExpr:
+			fn := analysis.Callee(pass.TypesInfo, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net" {
+				return true
+			}
+			name := fn.Name()
+			if netBlockingNames[name] || strings.HasPrefix(name, "Lookup") {
+				report(pass, n.Pos(),
+					"%s blocks the worker under this task for the operation's full latency; use lhws/internal/io so the task suspends instead",
+					fn.FullName())
+			}
+		}
+		return true
+	})
+}
+
+// hasCtxParam reports whether the signature takes a *runtime.Ctx (the
+// marker that the function body runs as task code on a worker).
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() != "Ctx" || obj.Pkg() == nil {
+			continue
+		}
+		if p := obj.Pkg().Path(); p == "lhws/internal/runtime" || p == "lhws" {
+			return true
+		}
+	}
+	return false
 }
 
 func check(pass *analysis.Pass, fd *ast.FuncDecl, nonblocking map[types.Object]bool) {

@@ -1,0 +1,7 @@
+// Package runtime is a fixture stand-in for lhws/internal/runtime: the
+// noblock analyzer only needs the Ctx type's identity to recognize task
+// code.
+package runtime
+
+// Ctx marks a parameter list as task code.
+type Ctx struct{}

@@ -1,0 +1,45 @@
+// Package tasknet exercises the bare-net-call-in-task-code rule: any
+// function or closure taking a *runtime.Ctx is task code, and direct
+// net reads/writes/accepts/dials inside it park the worker.
+package tasknet
+
+import (
+	"net"
+
+	"lhws/internal/runtime"
+)
+
+func task(c *runtime.Ctx, cn net.Conn, l net.Listener) {
+	buf := make([]byte, 8)
+	cn.Read(buf)             // want `blocks the worker under this task`
+	cn.Write(buf)            // want `blocks the worker under this task`
+	l.Accept()               // want `blocks the worker under this task`
+	net.Dial("tcp", "x:1")   // want `blocks the worker under this task`
+	net.LookupHost("x.test") // want `blocks the worker under this task`
+}
+
+// closures with a Ctx parameter are task code too — the common spawn
+// shape.
+func spawnShape(c *runtime.Ctx, cn net.Conn) {
+	f := func(cc *runtime.Ctx) {
+		cn.Read(nil) // want `blocks the worker under this task`
+	}
+	_ = f
+}
+
+// bind shows the sanctioned escape hatch for genuinely immediate calls.
+func bind(c *runtime.Ctx) {
+	net.Listen("tcp", "127.0.0.1:0") //lhws:allowblock bind+listen complete immediately
+}
+
+// helper has no Ctx parameter: its execution context is unknown, so it
+// is not checked (callers vouch for it).
+func helper(cn net.Conn) {
+	cn.Read(nil)
+}
+
+// typedConn shows the rule sees concrete net types, not just the
+// interfaces.
+func typedConn(c *runtime.Ctx, tc *net.TCPConn) {
+	tc.Write(nil) // want `blocks the worker under this task`
+}

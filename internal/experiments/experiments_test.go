@@ -5,6 +5,7 @@ import (
 	goruntime "runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestMain(m *testing.M) {
@@ -319,5 +320,38 @@ func TestAllTablesRender(t *testing.T) {
 				t.Errorf("check: %v", err)
 			}
 		})
+	}
+}
+
+func TestIOBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket experiment in -short mode")
+	}
+	// Shrunk configuration: the recorded scale (and its >= 3x Check gate)
+	// is make bench-io's job; here we assert the harness itself — both
+	// modes complete every request, the bridge pool stays within its cap,
+	// and hiding beats blocking by a margin no loaded CI box erases.
+	// Workers stays at 4: in blocking mode the root's AwaitChan and the
+	// accept spine each pin a worker, so fewer than three workers would
+	// leave the handlers starved.
+	cfg := IOBenchConfig{Workers: 4, Conns: 10, Rounds: 1, Delta: 20 * time.Millisecond, Frame: 8}
+	r, err := IOBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2\n%s", len(r.Rows), r.Table())
+	}
+	for _, row := range r.Rows {
+		if row.Requests != cfg.Conns*cfg.Rounds {
+			t.Errorf("%s: %d requests, want %d", row.Mode, row.Requests, cfg.Conns*cfg.Rounds)
+		}
+		if row.BridgePeak > row.BridgeCap {
+			t.Errorf("%s: bridge peak %d exceeds cap %d", row.Mode, row.BridgePeak, row.BridgeCap)
+		}
+	}
+	if r.Ratio < 1.5 {
+		t.Errorf("hiding only %.2fx over blocking at the smoke scale, want >= 1.5x\n%s",
+			r.Ratio, r.Table())
 	}
 }

@@ -52,6 +52,11 @@ const (
 	// TaskBody is the entry of a task's user function; Panic makes the
 	// task panic before running any user code.
 	TaskBody
+	// PollComplete is an external I/O completion being delivered to a
+	// suspended task (poller readiness, AwaitExternal completion); same
+	// actions as ResumeInject. Exercises the path where wakeups originate
+	// outside the scheduler entirely.
+	PollComplete
 
 	numPoints
 )
@@ -68,6 +73,8 @@ func (p Point) String() string {
 		return "chan-wakeup"
 	case TaskBody:
 		return "task-body"
+	case PollComplete:
+		return "poll-complete"
 	default:
 		return fmt.Sprintf("Point(%d)", int(p))
 	}

@@ -1,0 +1,80 @@
+package io
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"lhws/internal/runtime"
+)
+
+// TestAllocsEchoSteadyState is the io-layer allocation gate. The runtime
+// side is already proven exactly allocation-free (the external-await
+// steady-state gate in internal/runtime); this test adds the dispatcher
+// on top: pooled ioOps, the bridge queue, and deadline re-arms. The
+// budget is lenient rather than zero because the kernel-facing layers
+// legitimately allocate a little (netpoll deadline plumbing, and in
+// epoll builds a small per-park table entry) — the gate exists to catch
+// a regression to per-operation garbage (a fresh op, buffer, or closure
+// per read), which would show up as dozens of allocations per
+// roundtrip, not a handful.
+func TestAllocsEchoSteadyState(t *testing.T) {
+	// Raw echo peer: echoes instantly from a plain goroutine, so the
+	// task-side read's data is ready almost immediately.
+	nl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("peer listen: %v", err)
+	}
+	defer nl.Close()
+	go func() {
+		pc, aerr := nl.Accept()
+		if aerr != nil {
+			return
+		}
+		defer pc.Close()
+		buf := make([]byte, 64)
+		for {
+			n, rerr := pc.Read(buf)
+			if n > 0 {
+				pc.Write(buf[:n])
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	}()
+
+	const frame = 8
+	var avg float64
+	_, err = runtime.Run(runtime.Config{Workers: 1, Mode: runtime.LatencyHiding,
+		Seed: 1, Deadline: 60 * time.Second},
+		func(c *runtime.Ctx) {
+			cn, derr := Dial(c, "tcp", nl.Addr().String())
+			if derr != nil {
+				t.Errorf("dial: %v", derr)
+				return
+			}
+			defer cn.Close()
+			out := []byte("allocfrm")
+			in := make([]byte, frame)
+			roundtrip := func() {
+				if _, werr := cn.Write(c, out); werr != nil {
+					t.Errorf("write: %v", werr)
+				}
+				if rerr := readFull(c, cn, in); rerr != nil {
+					t.Errorf("read: %v", rerr)
+				}
+			}
+			for i := 0; i < 64; i++ { // warm op pool, waiter pool, queue capacity
+				roundtrip()
+			}
+			avg = testing.AllocsPerRun(100, roundtrip)
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	const budget = 8.0
+	if avg > budget {
+		t.Fatalf("echo roundtrip allocates %.1f objects on average, budget %.0f", avg, budget)
+	}
+}

@@ -1,0 +1,181 @@
+package io
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"lhws/internal/runtime"
+)
+
+// neverReadyPeer opens a raw listening socket whose accepted connection
+// never sends a byte: the task-side read against it can only finish via
+// cancellation or the watchdog. The returned cleanup closes both ends.
+func neverReadyPeer(t *testing.T) (addr string, cleanup func()) {
+	t.Helper()
+	nl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("peer listen: %v", err)
+	}
+	var held net.Conn
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := nl.Accept()
+		if err == nil {
+			held = c // hold open so the task side sees silence, not EOF
+		}
+	}()
+	return nl.Addr().String(), func() {
+		nl.Close()
+		<-done
+		if held != nil {
+			held.Close()
+		}
+	}
+}
+
+// TestReadCancelPromptUnwind: a deadline on a read that will never be
+// ready must unwind the task within the kick latency, not after a full
+// rotation or watchdog interval. The whole run finishing fast is the
+// assertion that cancellation interrupts the in-flight syscall.
+func TestReadCancelPromptUnwind(t *testing.T) {
+	addr, cleanup := neverReadyPeer(t)
+	defer cleanup()
+	start := time.Now()
+	_, err := runtime.Run(runtime.Config{Workers: 2, Mode: runtime.LatencyHiding, Deadline: 30 * time.Second},
+		func(c *runtime.Ctx) {
+			cc, cancel := c.WithDeadline(50 * time.Millisecond)
+			defer cancel()
+			fut := cc.Spawn(func(child *runtime.Ctx) {
+				cn, derr := Dial(child, "tcp", addr)
+				if derr != nil {
+					t.Errorf("dial: %v", derr)
+					return
+				}
+				defer cn.Close()
+				cn.Read(child, make([]byte, 1)) // unwinds here
+				t.Error("read returned on a silent conn without cancellation")
+			})
+			if werr := fut.AwaitErr(c); !errors.Is(werr, runtime.ErrDeadline) {
+				t.Errorf("AwaitErr = %v, want ErrDeadline", werr)
+			}
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("canceled read took %v to unwind; kick is not prompt", el)
+	}
+}
+
+// TestAcceptCancel: same promptness contract for a pending Accept with
+// no connection ever arriving.
+func TestAcceptCancel(t *testing.T) {
+	_, err := runtime.Run(runtime.Config{Workers: 2, Mode: runtime.LatencyHiding, Deadline: 30 * time.Second},
+		func(c *runtime.Ctx) {
+			l, lerr := Listen(c, "tcp", "127.0.0.1:0")
+			if lerr != nil {
+				t.Errorf("listen: %v", lerr)
+				return
+			}
+			defer l.Close()
+			cc, cancel := c.WithDeadline(50 * time.Millisecond)
+			defer cancel()
+			fut := cc.Spawn(func(child *runtime.Ctx) {
+				l.Accept(child) // unwinds here
+				t.Error("accept returned without a connection or cancellation")
+			})
+			if werr := fut.AwaitErr(c); !errors.Is(werr, runtime.ErrDeadline) {
+				t.Errorf("AwaitErr = %v, want ErrDeadline", werr)
+			}
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestCancelThenReuse pins conn hygiene after a canceled operation: the
+// kick poisons only the canceled attempt (every attempt re-arms its own
+// slice deadline), so the same Conn must work normally from a live
+// scope afterwards.
+func TestCancelThenReuse(t *testing.T) {
+	_, err := runtime.Run(runtime.Config{Workers: 2, Mode: runtime.LatencyHiding, Deadline: 30 * time.Second},
+		func(c *runtime.Ctx) {
+			l, lerr := Listen(c, "tcp", "127.0.0.1:0")
+			if lerr != nil {
+				t.Errorf("listen: %v", lerr)
+				return
+			}
+			srv := c.Spawn(func(cc *runtime.Ctx) { echoServe(cc, l, 4) })
+			cn, derr := Dial(c, "tcp", l.Addr().String())
+			if derr != nil {
+				t.Errorf("dial: %v", derr)
+				return
+			}
+
+			// Round 1: read with nothing written — the deadline unwinds it.
+			cc, cancel := c.WithDeadline(50 * time.Millisecond)
+			fut := cc.Spawn(func(child *runtime.Ctx) {
+				cn.Read(child, make([]byte, 4))
+				t.Error("read on idle echo conn returned without data")
+			})
+			if werr := fut.AwaitErr(c); !errors.Is(werr, runtime.ErrDeadline) {
+				t.Errorf("AwaitErr = %v, want ErrDeadline", werr)
+			}
+			cancel()
+
+			// Round 2: the conn still works from the parent scope.
+			if _, werr := cn.Write(c, []byte("ping")); werr != nil {
+				t.Errorf("post-cancel write: %v", werr)
+			}
+			in := make([]byte, 4)
+			if rerr := readFull(c, cn, in); rerr != nil {
+				t.Errorf("post-cancel read: %v", rerr)
+			} else if string(in) != "ping" {
+				t.Errorf("post-cancel echo = %q, want %q", in, "ping")
+			}
+
+			cn.Close()
+			l.Close()
+			srv.Await(c)
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestNeverReadyFDStall is the watchdog classification gate: a read that
+// can never complete (and is under no deadline) must surface as a
+// *StallError whose report names the io-read site with KindFD — the
+// diagnostic that distinguishes "stuck on a socket" from stuck timers,
+// channels, or futures.
+func TestNeverReadyFDStall(t *testing.T) {
+	addr, cleanup := neverReadyPeer(t)
+	defer cleanup()
+	_, err := runtime.Run(runtime.Config{Workers: 2, Mode: runtime.LatencyHiding,
+		StallTimeout: 150 * time.Millisecond, Deadline: 30 * time.Second},
+		func(c *runtime.Ctx) {
+			cn, derr := Dial(c, "tcp", addr)
+			if derr != nil {
+				t.Errorf("dial: %v", derr)
+				return
+			}
+			defer cn.Close()
+			cn.Read(c, make([]byte, 1)) // stalls; the watchdog aborts the run
+		})
+	var se *runtime.StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("Run error = %v, want *StallError", err)
+	}
+	found := false
+	for _, w := range se.Waits {
+		if w.Site == "io-read" && w.Kind == runtime.KindFD {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stall report lacks the io-read/KindFD wait: %v", se)
+	}
+}

@@ -1,0 +1,484 @@
+package io
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lhws/internal/runtime"
+)
+
+// This file is the dispatcher: the per-Run engine that executes socket
+// operations on behalf of suspended tasks. Tasks never touch a socket
+// directly — Conn.Read/Write and Listener.Accept hand a pooled ioOp to
+// the dispatcher and suspend through runtime.AwaitExternalOp; a small
+// bridge-goroutine pool (O(P), capped, never O(connections)) performs
+// the actual syscalls and completes the ops.
+//
+// Portable readiness without epoll: Go exposes no non-blocking probe on
+// a net.Conn (a deadline is checked before the syscall), so a pending
+// operation cannot be tested for readiness — only attempted. The
+// dispatcher therefore rotates: a bridge attempts each queued operation
+// with a short deadline slice; an attempt that times out with no
+// progress re-enqueues the op at the back of the queue and the bridge
+// moves on. C pending reads thus share cap bridges, each blocked at most
+// one slice per attempt, and an op's wakeup latency is bounded by
+// C*slice/cap — far below the operation latencies latency hiding
+// targets. Builds with the lhwsepoll tag replace rotation with true
+// readiness parking (see notify_epoll.go): a not-ready op registers its
+// fd with one epoll poller goroutine and leaves the queue entirely.
+//
+// Cancellation never waits for readiness: aborting a suspended I/O task
+// kicks the in-flight attempt by setting the socket's deadline into the
+// past, which interrupts a blocked Read/Write/Accept immediately. Every
+// attempt re-arms its own slice deadline first, so a stale kick poisons
+// nothing.
+
+const (
+	// pollSlice is one rotation attempt's deadline. Small enough that a
+	// full rotation of a busy queue stays well under real I/O latencies;
+	// large enough that an almost-ready socket usually completes in one
+	// attempt.
+	pollSlice = 2 * time.Millisecond
+)
+
+// errOpCanceled is the completion payload of a kicked (canceled)
+// operation. It is never observed by user code: a canceled await either
+// unwinds the task (latency-hiding and blocking modes both) before the
+// payload is read, or the payload lost the wake claim entirely.
+var errOpCanceled = errors.New("lhws/io: operation canceled")
+
+// aLongTimeAgo is the past deadline used to kick in-flight socket calls.
+var aLongTimeAgo = time.Unix(1, 0)
+
+type opKind int8
+
+const (
+	opRead opKind = iota
+	opWrite
+	opAccept
+	opDial
+)
+
+// ioOp is one socket operation in flight between a task and the bridge
+// pool. Read and write ops are pooled and recycled by the completing
+// bridge; accept and dial ops are owned by the task (it takes the
+// result connection out of the op after resuming) and die to the GC.
+//
+// mu serializes the three parties that can touch an op concurrently —
+// the arming task, the executing bridge, and a cancellation abort — and
+// h is the op's identity check: CancelExternal compares its handle
+// against op.h, so an abort that raced with completion (and possibly
+// with the op's recycling into a new life) detects staleness and leaves
+// the new life alone. The comparison is sound because the aborting scope
+// still holds a reference on its waiter, so the handle's waiter cannot
+// have been recycled while the abort runs.
+type ioOp struct {
+	mu       sync.Mutex
+	h        runtime.ExternalHandle // zeroed at completion; identity for cancel
+	kind     opKind
+	canceled bool
+	// parked is set while the op is registered with the readiness
+	// notifier (epoll builds); whoever CASes it back re-enqueues the op.
+	parked atomic.Bool
+
+	cn  *Conn     // read / write
+	ln  *Listener // accept
+	buf []byte
+	off int // write progress across rotation attempts
+
+	// Dial / Accept result handoff. resMu (not mu) guards it because the
+	// task takes the result after the op's handle is already cleared.
+	resMu     sync.Mutex
+	res       net.Conn
+	abandoned bool // cancel ran before the result landed: closer is the bridge
+	dialNet   string
+	dialAddr  string
+	ctxCancel context.CancelFunc // interrupts an in-flight DialContext
+}
+
+// Arm publishes the op to the dispatcher's bridge pool. Runs task-side.
+func (op *ioOp) Arm(h runtime.ExternalHandle) {
+	op.mu.Lock()
+	op.h = h
+	op.mu.Unlock()
+	op.disp().enqueue(op)
+}
+
+// CancelExternal interrupts the op: mark it canceled and kick whatever
+// blocking call a bridge may have in flight. Runs on the canceling
+// goroutine; must not block (deadline sets and context cancels only).
+func (op *ioOp) CancelExternal(h runtime.ExternalHandle, cause error) {
+	op.mu.Lock()
+	if op.h != h {
+		// Stale abort: the op completed (and was possibly recycled into a
+		// new life with a different handle) before the cancel landed.
+		op.mu.Unlock()
+		return
+	}
+	op.canceled = true
+	switch op.kind {
+	case opRead:
+		op.cn.nc.SetReadDeadline(aLongTimeAgo)
+	case opWrite:
+		op.cn.nc.SetWriteDeadline(aLongTimeAgo)
+	case opAccept:
+		if d, ok := op.ln.nl.(deadliner); ok {
+			d.SetDeadline(aLongTimeAgo)
+		}
+	case opDial:
+		if op.ctxCancel != nil {
+			op.ctxCancel()
+		}
+	}
+	op.mu.Unlock()
+	if op.kind == opAccept || op.kind == opDial {
+		// A result that already landed will never be taken: close it.
+		// If none landed yet, the bridge closes it on arrival.
+		op.resMu.Lock()
+		if op.res != nil {
+			op.res.Close()
+			op.res = nil
+		} else {
+			op.abandoned = true
+		}
+		op.resMu.Unlock()
+	}
+	if op.parked.CompareAndSwap(true, false) {
+		// The op sits in the readiness notifier, not the queue, and its
+		// fd may never fire; route it back to a bridge to be completed.
+		op.disp().enqueue(op)
+	}
+}
+
+func (op *ioOp) disp() *dispatcher {
+	switch op.kind {
+	case opAccept:
+		return op.ln.d
+	default:
+		return op.cn.d
+	}
+}
+
+// deadliner is the subset of net listeners/conns that support kicking.
+type deadliner interface {
+	SetDeadline(time.Time) error
+}
+
+// dispatcher owns the bridge pool and the pending-op queue for one Run.
+// It is created lazily through Ctx.Aux and closed by the runtime after
+// the task pool drains, so bridges never outlive the run (the leak tests
+// depend on close being synchronous).
+type dispatcher struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	queue   []*ioOp
+	head    int
+	idle    int
+	bridges int
+	peak    int // high-water bridge count; the benchmark gates on it
+	cap     int
+	closed  bool
+	wg      sync.WaitGroup
+	ops     sync.Pool
+	notify  notifier // non-nil only in lhwsepoll builds
+}
+
+type dispKey struct{}
+
+// dispFor returns the Run's dispatcher, creating it on first use. The
+// bridge cap is O(P): rotation means pending operations share bridges
+// instead of holding one each, so the pool never scales with the number
+// of connections.
+func dispFor(c *runtime.Ctx) *dispatcher {
+	return c.Aux(dispKey{}, func() (any, func()) {
+		d := &dispatcher{}
+		d.cond.L = &d.mu
+		d.cap = 2 * c.NumWorkers()
+		if d.cap < 8 {
+			d.cap = 8
+		}
+		d.notify = newNotifier(d)
+		return d, d.close
+	}).(*dispatcher)
+}
+
+func (d *dispatcher) getOp() *ioOp {
+	if v := d.ops.Get(); v != nil {
+		return v.(*ioOp)
+	}
+	return &ioOp{}
+}
+
+func (d *dispatcher) putOp(op *ioOp) {
+	op.cn = nil
+	op.ln = nil
+	op.buf = nil
+	op.off = 0
+	op.canceled = false
+	d.ops.Put(op)
+}
+
+// enqueue hands an op to the bridge pool: append, then wake an idle
+// bridge or grow the pool up to cap. Called from tasks (Arm), bridges
+// (rotation), the notifier (readiness), and aborts (unparking).
+func (d *dispatcher) enqueue(op *ioOp) {
+	d.mu.Lock()
+	if d.closed {
+		// Only reachable for ops with no live awaiting task (the runtime
+		// closes the dispatcher after every task has finished); complete
+		// the stale op rather than strand it.
+		d.mu.Unlock()
+		op.completeLocked(0, errOpCanceled)
+		return
+	}
+	d.queue = append(d.queue, op)
+	switch {
+	case d.idle > 0:
+		d.cond.Signal()
+	case d.bridges < d.cap:
+		d.bridges++
+		if d.bridges > d.peak {
+			d.peak = d.bridges
+		}
+		d.wg.Add(1)
+		go d.bridge()
+	}
+	d.mu.Unlock()
+}
+
+// close drains the queue and joins every bridge. The runtime calls it
+// after the run's last task has finished, so every op still queued or
+// in flight is a canceled straggler whose completion nobody awaits.
+func (d *dispatcher) close() {
+	d.mu.Lock()
+	d.closed = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	// Join the bridges before tearing down the notifier: a bridge mid-park
+	// must not race the epoll fd's close (fd-number reuse).
+	d.wg.Wait()
+	if d.notify != nil {
+		d.notify.close()
+	}
+}
+
+// peakBridges reports the bridge pool's high-water mark.
+func (d *dispatcher) peakBridges() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peak
+}
+
+// bridge is one pool goroutine: pop an op, attempt it, repeat. Exits
+// when the dispatcher is closed and the queue is empty.
+func (d *dispatcher) bridge() {
+	defer d.wg.Done()
+	d.mu.Lock()
+	for {
+		for d.head == len(d.queue) && !d.closed {
+			d.idle++
+			d.cond.Wait()
+			d.idle--
+		}
+		if d.head == len(d.queue) {
+			d.mu.Unlock()
+			return
+		}
+		op := d.queue[d.head]
+		d.queue[d.head] = nil
+		d.head++
+		if d.head == len(d.queue) {
+			d.queue = d.queue[:0]
+			d.head = 0
+		}
+		d.mu.Unlock()
+		op.run(d)
+		d.mu.Lock()
+	}
+}
+
+// completeLocked zeroes the op's handle (ending its cancel-visibility
+// window) and delivers the payload. It first drops the op's
+// Close-visibility registration on its Conn/Listener — pooled ops are
+// about to be recycled and must not be unparked by a stale Close.
+func (op *ioOp) completeLocked(n int, err error) {
+	switch op.kind {
+	case opRead, opWrite:
+		if op.cn != nil {
+			op.cn.clearOp(op.kind, op)
+		}
+	case opAccept:
+		if op.ln != nil {
+			op.ln.clearAccept(op)
+		}
+	}
+	op.mu.Lock()
+	h := op.h
+	op.h = runtime.ExternalHandle{}
+	op.mu.Unlock()
+	h.Complete(n, err)
+}
+
+// run executes one attempt of the op on the calling bridge.
+func (op *ioOp) run(d *dispatcher) {
+	switch op.kind {
+	case opRead:
+		op.runRead(d)
+	case opWrite:
+		op.runWrite(d)
+	case opAccept:
+		op.runAccept(d)
+	case opDial:
+		op.runDial(d)
+	}
+}
+
+// startAttempt arms the slice deadline for one attempt under op.mu.
+// Returning false means the op was canceled: the caller completes it
+// without touching the socket. The mutex closes the kick race: either
+// the abort sees this attempt's deadline already armed and overrides it
+// with the past kick, or this attempt sees canceled already set.
+func (op *ioOp) startAttempt(arm func(time.Time) error) bool {
+	op.mu.Lock()
+	if op.canceled {
+		op.mu.Unlock()
+		return false
+	}
+	arm(time.Now().Add(pollSlice))
+	op.mu.Unlock()
+	return true
+}
+
+// retryOrComplete routes a no-progress timeout: park on the readiness
+// notifier (epoll builds), rotate to the back of the queue, or — if the
+// op was canceled mid-attempt — complete as kicked. Returns true if the
+// attempt was rerouted and the bridge should not complete it.
+func (op *ioOp) retryOrComplete(d *dispatcher, parkFd parkable) bool {
+	op.mu.Lock()
+	canceled := op.canceled
+	op.mu.Unlock()
+	if canceled {
+		return false
+	}
+	if d.notify != nil && parkFd != nil && d.notify.park(op, parkFd) {
+		return true
+	}
+	d.enqueue(op)
+	return true
+}
+
+func (op *ioOp) runRead(d *dispatcher) {
+	nc := op.cn.nc
+	if !op.startAttempt(nc.SetReadDeadline) {
+		op.completeLocked(0, errOpCanceled)
+		d.putOp(op)
+		return
+	}
+	n, err := nc.Read(op.buf)
+	if n == 0 && isTimeout(err) && op.retryOrComplete(d, op.cn.sc) {
+		return
+	}
+	if n > 0 && isTimeout(err) {
+		// Data arrived within the slice: a timeout alongside progress is
+		// not an error for the caller.
+		err = nil
+	}
+	op.completeLocked(n, err)
+	d.putOp(op)
+}
+
+func (op *ioOp) runWrite(d *dispatcher) {
+	nc := op.cn.nc
+	if !op.startAttempt(nc.SetWriteDeadline) {
+		op.completeLocked(op.off, errOpCanceled)
+		d.putOp(op)
+		return
+	}
+	n, err := nc.Write(op.buf[op.off:])
+	op.off += n
+	if op.off < len(op.buf) && isTimeout(err) && op.retryOrComplete(d, op.cn.sc) {
+		return
+	}
+	if op.off == len(op.buf) && isTimeout(err) {
+		err = nil
+	}
+	op.completeLocked(op.off, err)
+	d.putOp(op)
+}
+
+func (op *ioOp) runAccept(d *dispatcher) {
+	arm := func(t time.Time) error { return nil }
+	if dl, ok := op.ln.nl.(deadliner); ok {
+		arm = dl.SetDeadline
+	}
+	if !op.startAttempt(arm) {
+		op.completeLocked(0, errOpCanceled)
+		return
+	}
+	nc, err := op.ln.nl.Accept()
+	if err != nil && nc == nil && isTimeout(err) && op.retryOrComplete(d, op.ln.sc) {
+		return
+	}
+	if nc != nil {
+		op.deliverResult(nc)
+		err = nil
+	}
+	op.completeLocked(0, err)
+}
+
+func (op *ioOp) runDial(d *dispatcher) {
+	// Dials do not rotate: DialContext holds this bridge until the
+	// connection (or cancellation via the context) resolves. Dials are
+	// rare relative to reads, and the context makes the kick immediate.
+	ctx, cancel := context.WithCancel(context.Background())
+	op.mu.Lock()
+	if op.canceled {
+		op.mu.Unlock()
+		cancel()
+		op.completeLocked(0, errOpCanceled)
+		return
+	}
+	op.ctxCancel = cancel
+	op.mu.Unlock()
+	var dialer net.Dialer
+	nc, err := dialer.DialContext(ctx, op.dialNet, op.dialAddr)
+	cancel()
+	if nc != nil {
+		op.deliverResult(nc)
+		err = nil
+	}
+	op.completeLocked(0, err)
+}
+
+// deliverResult hands an accepted/dialed connection toward the awaiting
+// task, or closes it if a cancellation abandoned the op first — exactly
+// one side observes every connection, so none leaks.
+func (op *ioOp) deliverResult(nc net.Conn) {
+	op.resMu.Lock()
+	if op.abandoned {
+		op.resMu.Unlock()
+		nc.Close()
+		return
+	}
+	op.res = nc
+	op.resMu.Unlock()
+}
+
+// takeResult is the task-side half of the handoff, after a normal
+// (non-unwinding) await return.
+func (op *ioOp) takeResult() net.Conn {
+	op.resMu.Lock()
+	nc := op.res
+	op.res = nil
+	op.resMu.Unlock()
+	return nc
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

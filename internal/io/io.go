@@ -1,0 +1,249 @@
+// Package io gives LHWS tasks real sockets with heavy-edge semantics:
+// Read, Write, Accept, and Dial suspend the calling task — never its
+// worker — until the operation completes, so a worker whose task is
+// waiting on the network immediately runs other work, exactly as the
+// paper's latency-hiding scheduler treats a latency-incurring vertex
+// (§2's heavy edges, realized by Ctx.Latency for simulated delays and by
+// this package for real ones).
+//
+// The machinery is runtime.AwaitExternalOp underneath: an operation
+// suspends through the same epoch-claimed waiter protocol as Latency and
+// channel waits, a dispatcher bridge performs the syscall, and the
+// completion re-injects the task through its deque's bulk resumed path —
+// completions sharing a drain enter the deque as one pfor-tree node.
+// Scope cancellation (WithCancel/WithDeadline, the watchdog, a panic
+// elsewhere) interrupts pending socket calls promptly by kicking their
+// deadlines; a canceled operation unwinds the task like every other
+// canceled wait.
+//
+// In Blocking mode the same calls park the worker until the completion
+// arrives, preserving the paper's baseline for comparison; code written
+// against this package runs unchanged in both modes.
+//
+// Concurrency contract: at most one task may be in Read and one in Write
+// on the same Conn at a time (as with net.Conn, reads and writes are
+// independent); Accept similarly admits one accepting task per Listener.
+package io
+
+import (
+	"net"
+	"sync"
+	"syscall"
+
+	"lhws/internal/runtime"
+)
+
+// parkable is the raw-syscall view of a socket, used by epoll builds to
+// register readiness interest; nil when the underlying conn does not
+// expose one (rotation still works without it).
+type parkable = syscall.RawConn
+
+// notifier is the optional readiness fast path (see notify_epoll.go).
+// park registers a not-ready op's fd and owns re-enqueueing the op when
+// the fd fires; it reports false to fall back to queue rotation.
+type notifier interface {
+	park(op *ioOp, rc parkable) bool
+	close()
+}
+
+// Conn is a socket whose operations suspend the calling task instead of
+// blocking its worker. Create one with Dial, Listener.Accept, or Wrap.
+// Close is plain (non-suspending) and interrupts in-flight operations.
+type Conn struct {
+	d  *dispatcher
+	nc net.Conn
+	sc parkable
+
+	// opMu guards the in-flight op registrations. Close uses them to
+	// unpark operations waiting on the readiness notifier: closing an fd
+	// silently removes it from an epoll set, so a parked op would
+	// otherwise never fire (rotation attempts discover the close on
+	// their own; parked ones must be routed back to a bridge).
+	opMu sync.Mutex
+	rdOp *ioOp
+	wrOp *ioOp
+}
+
+// setOp / clearOp maintain the Close-visibility registration around an
+// op's lifetime: set task-side before Arm, cleared by the completing
+// bridge.
+func (cn *Conn) setOp(dir opKind, op *ioOp) {
+	cn.opMu.Lock()
+	if dir == opRead {
+		cn.rdOp = op
+	} else {
+		cn.wrOp = op
+	}
+	cn.opMu.Unlock()
+}
+
+func (cn *Conn) clearOp(dir opKind, op *ioOp) {
+	cn.opMu.Lock()
+	if dir == opRead && cn.rdOp == op {
+		cn.rdOp = nil
+	} else if dir == opWrite && cn.wrOp == op {
+		cn.wrOp = nil
+	}
+	cn.opMu.Unlock()
+}
+
+// Wrap adopts an existing net.Conn into the task runtime. The conn must
+// support deadlines (every *net.TCPConn, *net.UnixConn, ... does);
+// in-memory pipes without deadline support would block bridges and are
+// rejected by the first operation's kick being impossible — prefer real
+// sockets.
+func Wrap(c *runtime.Ctx, nc net.Conn) *Conn {
+	return wrapConn(dispFor(c), nc)
+}
+
+func wrapConn(d *dispatcher, nc net.Conn) *Conn {
+	cn := &Conn{d: d, nc: nc}
+	if s, ok := nc.(syscall.Conn); ok {
+		if rc, err := s.SyscallConn(); err == nil {
+			cn.sc = rc
+		}
+	}
+	return cn
+}
+
+// Read reads into p, suspending the task until at least one byte (or
+// EOF, or an error) is available. Semantics match net.Conn.Read.
+func (cn *Conn) Read(c *runtime.Ctx, p []byte) (int, error) {
+	op := cn.d.getOp()
+	op.kind = opRead
+	op.cn = cn
+	op.buf = p
+	cn.setOp(opRead, op)
+	return c.AwaitExternalOp("io-read", runtime.KindFD, op)
+}
+
+// Write writes all of p, suspending the task across partial writes.
+func (cn *Conn) Write(c *runtime.Ctx, p []byte) (int, error) {
+	op := cn.d.getOp()
+	op.kind = opWrite
+	op.cn = cn
+	op.buf = p
+	cn.setOp(opWrite, op)
+	return c.AwaitExternalOp("io-write", runtime.KindFD, op)
+}
+
+// NetConn exposes the underlying net.Conn for address inspection and
+// option setting. Do not Read/Write it from task code — that blocks the
+// worker (the noblock analyzer flags it).
+func (cn *Conn) NetConn() net.Conn { return cn.nc }
+
+// Close closes the socket. Non-suspending; pending operations complete
+// with the socket's close error. Operations parked on the readiness
+// notifier are routed back to a bridge (the closed fd would never fire).
+func (cn *Conn) Close() error {
+	err := cn.nc.Close()
+	cn.opMu.Lock()
+	rd, wr := cn.rdOp, cn.wrOp
+	cn.opMu.Unlock()
+	unparkForClose(cn.d, rd)
+	unparkForClose(cn.d, wr)
+	return err
+}
+
+// unparkForClose reroutes an op parked in the notifier back to the
+// bridge queue so it can observe the close. The CAS races the notifier
+// and cancellation; exactly one party re-enqueues.
+func unparkForClose(d *dispatcher, op *ioOp) {
+	if op != nil && op.parked.CompareAndSwap(true, false) {
+		d.enqueue(op)
+	}
+}
+
+// Listener accepts connections without blocking workers.
+type Listener struct {
+	d  *dispatcher
+	nl net.Listener
+	sc parkable
+
+	opMu sync.Mutex
+	acOp *ioOp
+}
+
+// Listen opens a listening socket (e.g. "tcp", "127.0.0.1:0"). The bind
+// itself is immediate; only Accept suspends.
+func Listen(c *runtime.Ctx, network, addr string) (*Listener, error) {
+	nl, err := net.Listen(network, addr) //lhws:allowblock bind+listen complete immediately; only Accept waits
+	if err != nil {
+		return nil, err
+	}
+	l := &Listener{d: dispFor(c), nl: nl}
+	if s, ok := nl.(syscall.Conn); ok {
+		if rc, serr := s.SyscallConn(); serr == nil {
+			l.sc = rc
+		}
+	}
+	return l, nil
+}
+
+// Accept suspends the task until a connection arrives and returns it
+// wrapped for task use.
+func (l *Listener) Accept(c *runtime.Ctx) (*Conn, error) {
+	op := &ioOp{kind: opAccept, ln: l}
+	l.opMu.Lock()
+	l.acOp = op
+	l.opMu.Unlock()
+	if _, err := c.AwaitExternalOp("io-accept", runtime.KindFD, op); err != nil {
+		return nil, err
+	}
+	nc := op.takeResult()
+	if nc == nil {
+		// A cancellation closed the result before this task took it; the
+		// scope is canceled, so the very next scheduling point unwinds.
+		return nil, errOpCanceled
+	}
+	return wrapConn(l.d, nc), nil
+}
+
+func (l *Listener) clearAccept(op *ioOp) {
+	l.opMu.Lock()
+	if l.acOp == op {
+		l.acOp = nil
+	}
+	l.opMu.Unlock()
+}
+
+// Addr returns the listener's address (useful with port 0).
+func (l *Listener) Addr() net.Addr { return l.nl.Addr() }
+
+// Close stops the listener; a pending Accept completes with the close
+// error. Non-suspending.
+func (l *Listener) Close() error {
+	err := l.nl.Close()
+	l.opMu.Lock()
+	op := l.acOp
+	l.opMu.Unlock()
+	unparkForClose(l.d, op)
+	return err
+}
+
+// Dial connects to addr, suspending the task for the duration of the
+// connection handshake.
+func Dial(c *runtime.Ctx, network, addr string) (*Conn, error) {
+	d := dispFor(c)
+	op := &ioOp{kind: opDial, cn: &Conn{d: d}, dialNet: network, dialAddr: addr}
+	if _, err := c.AwaitExternalOp("io-dial", runtime.KindFD, op); err != nil {
+		return nil, err
+	}
+	nc := op.takeResult()
+	if nc == nil {
+		return nil, errOpCanceled
+	}
+	return wrapConn(d, nc), nil
+}
+
+// PeakBridges reports the high-water count of bridge goroutines this
+// run's dispatcher spawned — the benchmark's O(P)-not-O(C) gate reads
+// it. Zero if the run performed no I/O.
+func PeakBridges(c *runtime.Ctx) int {
+	return dispFor(c).peakBridges()
+}
+
+// ErrOpCanceled is exported for tests that need to distinguish the
+// canceled-result sentinel; user code normally never sees it (the task
+// unwinds instead).
+var ErrOpCanceled = errOpCanceled

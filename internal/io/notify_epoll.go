@@ -1,0 +1,220 @@
+//go:build linux && lhwsepoll
+
+package io
+
+import (
+	"sync"
+	"syscall"
+)
+
+// The epoll fast path: instead of rotating not-ready operations through
+// the bridge queue on deadline slices, a single poller goroutine parks
+// them on an epoll instance and re-enqueues each op the moment its fd
+// becomes ready. Bridges then attempt the op with data (or a connection)
+// already waiting, so the attempt completes on its first slice.
+//
+// Registrations are one-shot (EPOLLONESHOT): an op parks, its fd fires
+// at most once, and the next park re-arms. The fd table maps fd to a
+// pair of direction slots (a conn's reader and writer may both park on
+// the same fd; registration unions their interests, and a fire for one
+// direction re-arms the other). The table tolerates staleness —
+// readiness delivery is spurious-tolerant by design (a falsely unparked
+// op merely attempts, finds nothing, and parks again), so a stale slot
+// can at worst cause one extra rotation, never a correctness failure.
+// Cancellation does not need the poller at all: CancelExternal CASes the
+// op out of its parked state and re-enqueues it directly (see
+// ioOp.CancelExternal). Closing a socket is the one readiness event
+// epoll will NOT deliver — the kernel silently drops a closed fd from
+// the interest set — so Conn.Close/Listener.Close unpark their
+// registered ops themselves (see unparkForClose).
+//
+// One outstanding parked op per fd direction is assumed, which the
+// Conn/Listener concurrency contract (one reader, one writer, one
+// acceptor) guarantees.
+
+// newNotifier starts the epoll poller. If epoll setup fails (exotic
+// kernels, locked-down sandboxes) it returns nil and the dispatcher
+// falls back to rotation.
+func newNotifier(d *dispatcher) notifier {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil
+	}
+	var pipe [2]int
+	if err := syscall.Pipe2(pipe[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil
+	}
+	n := &epollNotifier{d: d, epfd: epfd, wakeR: pipe[0], wakeW: pipe[1], ops: make(map[int32]*fdEntry)}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(pipe[0])}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, pipe[0], &ev); err != nil {
+		syscall.Close(epfd)
+		syscall.Close(pipe[0])
+		syscall.Close(pipe[1])
+		return nil
+	}
+	n.wg.Add(1)
+	go n.poll()
+	return n
+}
+
+type epollNotifier struct {
+	d     *dispatcher
+	epfd  int
+	wakeR int // shutdown pipe, read end (registered in the epoll set)
+	wakeW int
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	ops    map[int32]*fdEntry
+	closed bool
+}
+
+// fdEntry holds the at-most-two ops parked on one fd: the read-interest
+// slot (reads and accepts) and the write-interest slot.
+type fdEntry struct {
+	rd *ioOp
+	wr *ioOp
+}
+
+const readinessIn = syscall.EPOLLIN | syscall.EPOLLRDHUP
+
+// interest computes the union epoll event mask for the entry's live
+// slots, always one-shot.
+func (e *fdEntry) interest() uint32 {
+	ev := uint32(syscall.EPOLLONESHOT)
+	if e.rd != nil {
+		ev |= readinessIn
+	}
+	if e.wr != nil {
+		ev |= syscall.EPOLLOUT
+	}
+	return ev
+}
+
+// park registers the op's fd for one readiness notification. Reports
+// false (caller rotates instead) if the raw fd cannot be extracted or
+// the notifier is shutting down.
+func (n *epollNotifier) park(op *ioOp, rc parkable) bool {
+	op.parked.Store(true)
+	registered := false
+	err := rc.Control(func(fd uintptr) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.closed {
+			return
+		}
+		e := n.ops[int32(fd)]
+		if e == nil {
+			e = &fdEntry{}
+			n.ops[int32(fd)] = e
+		}
+		if op.kind == opWrite {
+			e.wr = op
+		} else {
+			e.rd = op
+		}
+		if n.arm(int32(fd), e) != nil {
+			// Roll the slot back so a later park on the sibling direction
+			// does not resurrect interest in this op.
+			if op.kind == opWrite {
+				e.wr = nil
+			} else {
+				e.rd = nil
+			}
+			if e.rd == nil && e.wr == nil {
+				delete(n.ops, int32(fd))
+			}
+			return
+		}
+		registered = true
+	})
+	if err != nil || !registered {
+		// Undo the park claim unless a concurrent cancel or close already
+		// took it (in which case the op is back in the queue and not ours).
+		op.parked.CompareAndSwap(true, false)
+		return false
+	}
+	return true
+}
+
+// arm (re)registers fd with the union interest of e's slots. Caller
+// holds n.mu.
+func (n *epollNotifier) arm(fd int32, e *fdEntry) error {
+	ev := syscall.EpollEvent{Events: e.interest(), Fd: fd}
+	if err := syscall.EpollCtl(n.epfd, syscall.EPOLL_CTL_MOD, int(fd), &ev); err != nil {
+		return syscall.EpollCtl(n.epfd, syscall.EPOLL_CTL_ADD, int(fd), &ev)
+	}
+	return nil
+}
+
+// poll is the single readiness goroutine: wait, translate fds back to
+// ops, unpark, re-enqueue.
+func (n *epollNotifier) poll() {
+	defer n.wg.Done()
+	events := make([]syscall.EpollEvent, 64)
+	for {
+		nev, err := syscall.EpollWait(n.epfd, events, -1)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return
+		}
+		for i := 0; i < nev; i++ {
+			fd := events[i].Fd
+			if int(fd) == n.wakeR {
+				return
+			}
+			got := events[i].Events
+			// Errors and hangups wake both directions.
+			errish := got&(syscall.EPOLLERR|syscall.EPOLLHUP) != 0
+			var rd, wr *ioOp
+			n.mu.Lock()
+			if e := n.ops[fd]; e != nil {
+				if got&readinessIn != 0 || errish {
+					rd, e.rd = e.rd, nil
+				}
+				if got&syscall.EPOLLOUT != 0 || errish {
+					wr, e.wr = e.wr, nil
+				}
+				if e.rd == nil && e.wr == nil {
+					delete(n.ops, fd)
+				} else {
+					// EPOLLONESHOT disarmed the whole fd; re-arm for the
+					// direction still parked. On failure fall back to the
+					// queue so the survivor is not stranded.
+					if n.arm(fd, e) != nil {
+						if e.rd != nil {
+							rd = e.rd
+						} else {
+							wr = e.wr
+						}
+						delete(n.ops, fd)
+					}
+				}
+			}
+			n.mu.Unlock()
+			if rd != nil && rd.parked.CompareAndSwap(true, false) {
+				n.d.enqueue(rd)
+			}
+			if wr != nil && wr.parked.CompareAndSwap(true, false) {
+				n.d.enqueue(wr)
+			}
+		}
+	}
+}
+
+// close shuts the poller down and releases the epoll fd. Parked ops
+// need no draining here: the runtime cancels every task before the
+// dispatcher closes, and cancellation unparks directly.
+func (n *epollNotifier) close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	syscall.Write(n.wakeW, []byte{1})
+	n.wg.Wait()
+	syscall.Close(n.epfd)
+	syscall.Close(n.wakeR)
+	syscall.Close(n.wakeW)
+}

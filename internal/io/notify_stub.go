@@ -1,0 +1,8 @@
+//go:build !linux || !lhwsepoll
+
+package io
+
+// newNotifier returns nil in default builds: not-ready operations rotate
+// through the bridge queue on short deadline slices (see dispatch.go).
+// Build with -tags lhwsepoll on Linux for true readiness parking.
+func newNotifier(d *dispatcher) notifier { return nil }

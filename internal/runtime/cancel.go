@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lhws/internal/timerwheel"
 )
 
 // Cancellation errors. Run returns them (possibly wrapped) when the
@@ -55,7 +57,7 @@ type cancelScope struct {
 	err      error
 	children map[*cancelScope]struct{}
 	waits    map[any]aborter
-	timer    *time.Timer
+	timer    *timerwheel.Timer
 }
 
 // aborter is a registered wait's cancellation callback. waiter implements
@@ -139,24 +141,26 @@ func (s *cancelScope) cancel(err error) {
 	}
 }
 
-// setDeadline arms a timer canceling the scope with ErrDeadline.
+// setDeadline arms a wheel timer canceling the scope with ErrDeadline.
+// Deadline scopes ride the run's shared timer wheel, so WithDeadline in
+// a hot loop costs a slot-list insert, not a runtime timer heap entry;
+// and because Run shuts the wheel down after the pool drains, a root
+// deadline cannot fire after Run returns — the separate stop-on-exit
+// special case the per-scope time.Timer needed is gone.
 func (s *cancelScope) setDeadline(d time.Duration) {
 	s.mu.Lock()
 	if s.err == nil && s.timer == nil {
-		s.timer = time.AfterFunc(d, func() { s.cancel(ErrDeadline) })
+		s.timer = s.rt.wheel.AfterFunc(d, fireDeadline, s)
 	}
 	s.mu.Unlock()
 }
 
-// release stops the deadline timer without canceling; called when the
-// run ends so a root deadline cannot fire after Run returned.
-func (s *cancelScope) release() {
-	s.mu.Lock()
-	if s.timer != nil {
-		s.timer.Stop()
-		s.timer = nil
-	}
-	s.mu.Unlock()
+// fireDeadline is the wheel callback for scope deadlines. It runs on the
+// wheel goroutine; cancel takes scope locks only, which are above the
+// wheel's leaf mutex in the lock order, so a deadline cascading into
+// timer Stops cannot deadlock.
+func fireDeadline(arg any) {
+	arg.(*cancelScope).cancel(ErrDeadline)
 }
 
 // detach removes the scope from its parent so a finished subtree's

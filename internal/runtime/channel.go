@@ -224,7 +224,7 @@ func (ch *Chan[T]) Send(c *Ctx, v T) {
 			home.unsuspend()
 			continue
 		}
-		wt := t.beginWait("chan-send", home, ch)
+		wt := t.beginWait("chan-send", KindChan, home, ch)
 		wt.refs.Add(1) // the sendq entry's event reference
 		ch.sendq.push(wt)
 		ch.mu.Unlock()
@@ -281,7 +281,7 @@ func (ch *Chan[T]) RecvOK(c *Ctx) (T, bool) {
 			home.unsuspend()
 			return zero, false
 		}
-		wt := t.beginWait("chan-recv", home, ch)
+		wt := t.beginWait("chan-recv", KindChan, home, ch)
 		wt.refs.Add(1) // the recvq entry's event reference
 		ch.recvq.push(wt)
 		ch.mu.Unlock()

@@ -141,7 +141,7 @@ func (f *Future) AwaitErr(c *Ctx) error {
 		home.unsuspend()
 		return err
 	}
-	wt := t.beginWait("await", home, f)
+	wt := t.beginWait("await", KindFuture, home, f)
 	wt.refs.Add(1) // the registration's event reference
 	if f.w0 == nil {
 		f.w0 = wt

@@ -87,6 +87,8 @@ func (w *worker) releaseTask(t *task) {
 	t.home = nil
 	t.err = nil
 	t.wakeErr = nil
+	t.extN = 0
+	t.extErr = nil
 	t.ctx = Ctx{}
 	if len(w.taskCache) < taskCacheCap {
 		w.taskCache = append(w.taskCache, t)

@@ -62,6 +62,7 @@ import (
 
 	"lhws/internal/faultpoint"
 	"lhws/internal/rng"
+	"lhws/internal/timerwheel"
 )
 
 // Mode selects the scheduling algorithm.
@@ -121,10 +122,12 @@ type Stats struct {
 	TasksSpawned       int64         // tasks created
 	TasksCanceled      int64         // tasks unwound by cancellation, deadline, or stall
 	TasksPanicked      int64         // tasks that panicked
-	Suspensions        int64         // task suspensions (latency + await + channels)
+	Suspensions        int64         // task suspensions (latency + await + channels + external)
 	Switches           int64         // deque switches
 	StealAttempts      int64         // steal attempts
 	Steals             int64         // successful steals
+	ResumeBatches      int64         // multi-task pfor-tree injections by drainResumed
+	ResumeBatchTasks   int64         // tasks re-injected inside those batches
 	MaxDequesPerWorker int32         // high-water mark of live deques on one worker
 	Stalled            bool          // the suspension watchdog fired
 	SuppressedErrors   []string      // fatal errors after the first (first-error-wins)
@@ -159,6 +162,7 @@ func Run(cfg Config, root func(*Ctx)) (*Stats, error) {
 	}
 	rt := &runtimeState{cfg: cfg, done: make(chan struct{}), poolStop: make(chan struct{})}
 	rt.trackSuspends = cfg.StallTimeout > 0
+	rt.wheel = timerwheel.New(0)
 	rt.root = newCancelScope(rt, nil)
 	seeds := rng.New(cfg.Seed)
 	rt.shards = make([]statShard, cfg.Workers)
@@ -195,10 +199,14 @@ func Run(cfg Config, root func(*Ctx)) (*Stats, error) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
-	// The run has drained: release every parked pooled task goroutine.
+	// The run has drained: release every parked pooled task goroutine,
+	// quiesce the timer wheel (after Shutdown returns no timer callback —
+	// including the root deadline — can fire), and close run-scoped
+	// auxiliaries (the I/O dispatcher's bridge pool, if one was created).
 	close(rt.poolStop)
 	close(watchStop)
-	rt.root.release()
+	rt.wheel.Shutdown()
+	rt.closeAux()
 
 	rt.errMu.Lock()
 	err := rt.firstErr
@@ -226,6 +234,8 @@ func Run(cfg Config, root func(*Ctx)) (*Stats, error) {
 		st.Switches += s.switches.Load()
 		st.StealAttempts += s.stealAttempts.Load()
 		st.Steals += s.steals.Load()
+		st.ResumeBatches += s.resumeBatches.Load()
+		st.ResumeBatchTasks += s.resumeBatchTasks.Load()
 	}
 	return st, err
 }
@@ -253,10 +263,63 @@ type runtimeState struct {
 	// maintained only for the watchdog (see wait.go).
 	trackSuspends bool
 	susReg        suspendRegistry
+	// wheel is the run's shared hashed timer wheel: Latency expirations,
+	// scope deadlines, and fault-delayed wakeups all ride it, so many
+	// thousand sleeping tasks cost one timer goroutine.
+	wheel *timerwheel.Wheel
+
+	// aux holds run-scoped singletons created by subsystems layered on
+	// the runtime (the I/O dispatcher); closers run after the pool
+	// drains, in reverse creation order.
+	auxMu      sync.Mutex
+	aux        map[any]any
+	auxClosers []func()
 
 	errMu      sync.Mutex
 	firstErr   error
 	suppressed []string
+}
+
+// Aux returns the run-scoped singleton stored under key, creating it
+// with ctor on first use. The optional closer returned by ctor runs when
+// the run drains (after every task has finished, before Run returns).
+// This is how package-level subsystems (lhws/internal/io) attach one
+// instance per Run without the runtime importing them.
+func (c *Ctx) Aux(key any, ctor func() (value any, closer func())) any {
+	rt := c.t.rt
+	rt.auxMu.Lock()
+	defer rt.auxMu.Unlock()
+	if v, ok := rt.aux[key]; ok {
+		return v
+	}
+	v, closer := ctor()
+	if rt.aux == nil {
+		rt.aux = make(map[any]any)
+	}
+	rt.aux[key] = v
+	if closer != nil {
+		rt.auxClosers = append(rt.auxClosers, closer)
+	}
+	return v
+}
+
+// Mode reports the scheduling mode of the runtime executing the task, so
+// layered subsystems can pick the suspending or the blocking (baseline)
+// implementation of an operation.
+func (c *Ctx) Mode() Mode { return c.t.rt.cfg.Mode }
+
+// NumWorkers reports the runtime's worker count P; layered subsystems
+// size their helper pools from it (O(P), never O(connections)).
+func (c *Ctx) NumWorkers() int { return c.t.rt.cfg.Workers }
+
+func (rt *runtimeState) closeAux() {
+	rt.auxMu.Lock()
+	closers := rt.auxClosers
+	rt.auxClosers = nil
+	rt.auxMu.Unlock()
+	for i := len(closers) - 1; i >= 0; i-- {
+		closers[i]()
+	}
 }
 
 // noteFatal records a run-fatal error: the first one wins and becomes

@@ -23,7 +23,13 @@ type statShard struct {
 	// lives on the shard — not a shared atomic — because it is written
 	// twice per scheduling quantum; the watchdog sums it across shards.
 	running atomic.Int64
-	_       [128 - 7*8]byte
+	// resumeBatches / resumeBatchTasks count drainResumed's multi-task
+	// pfor-tree injections: a drain of n>1 resumed tasks is one batch
+	// (one PushBottom) carrying n tasks. Tests assert on these to pin
+	// the single-injection-per-drain property.
+	resumeBatches    atomic.Int64
+	resumeBatchTasks atomic.Int64
+	_                [128 - 9*8]byte
 }
 
 // tasksRunTotal sums the run-slice counter across shards; the watchdog

@@ -54,6 +54,10 @@ type task struct {
 	// wakeErr is set by the claiming waker before re-injection when the
 	// wake is a cancellation abort; the resume handoff publishes it.
 	wakeErr error
+	// extN/extErr carry an external completion's payload from the
+	// claiming wake to AwaitExternalOp's return (see waiter).
+	extN   int
+	extErr error
 	// err is the task's outcome, written by its own goroutine before the
 	// final report: nil, a cancellation cause, or a wrapped panic.
 	err error
@@ -195,15 +199,23 @@ func (c *Ctx) Latency(d time.Duration) {
 	t := c.t
 	home := c.t.w.active
 	home.suspend()
-	wt := t.beginWait("latency", home, nil)
+	wt := t.beginWait("latency", KindTimer, home, nil)
 	t.rt.pendingWakes.Add(1)
 	wt.refs.Add(1) // timer reference, consumed by deliver
-	wt.timer = time.AfterFunc(d, func() {
-		defer t.rt.pendingWakes.Add(-1)
-		wt.deliver(faultpoint.ResumeInject)
-	})
+	wt.timer = t.rt.wheel.AfterFunc(d, latencyFired, wt)
 	c.armScope(wt)
 	c.finishWait(wt)
+}
+
+// latencyFired is the wheel callback for Latency: ten thousand sleeping
+// tasks cost one timer goroutine, and expirations sharing a tick land in
+// the same drainResumed batch. A package-level function (with the waiter
+// as the argument) keeps the arm allocation-free apart from the timer
+// entry itself.
+func latencyFired(arg any) {
+	wt := arg.(*waiter)
+	wt.t.rt.pendingWakes.Add(-1)
+	wt.deliver(faultpoint.ResumeInject)
 }
 
 // armScope registers the open suspension with the task's cancellation

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lhws/internal/faultpoint"
+	"lhws/internal/timerwheel"
 )
 
 // waiter represents one suspension of one task: a claimable wakeup
@@ -32,12 +33,22 @@ type waiter struct {
 	t     *task
 	epoch uint64
 	home  *rdeque
-	timer *time.Timer // pending Latency timer, stopped on abort
+	timer *timerwheel.Timer // pending Latency timer, stopped on abort
 	// src, when non-nil, is the queue the waiter is parked on (a Future
 	// or a Chan); the cancellation abort asks it to dequeue the waiter
 	// before waking it.
-	src  wakeSource
+	src wakeSource
+	// ext, when non-nil, is the external operation this waiter awaits
+	// (AwaitExternalOp); the cancellation abort interrupts it before
+	// waking the task.
+	ext  ExternalOp
+	kind WaitKind
 	refs atomic.Int32
+	// extN/extErr are the external completion's payload, written by
+	// Complete before the wake and copied onto the task by the winning
+	// claim (so the task can read them after the waiter is recycled).
+	extN   int
+	extErr error
 }
 
 // wakeSource is a wakeup queue a waiter can be parked on. cancelWait
@@ -57,7 +68,7 @@ type wakeSource interface {
 // (released at the end of finishWait) and the cancellation scope's
 // (consumed by abortWait, or released by finishWait when the wait
 // deregisters cleanly). Event sources add their own before publishing.
-func (t *task) beginWait(site string, home *rdeque, src wakeSource) *waiter {
+func (t *task) beginWait(site string, kind WaitKind, home *rdeque, src wakeSource) *waiter {
 	t.home = home
 	e := t.epoch.Add(1)
 	wt := t.rt.getWaiter()
@@ -66,8 +77,11 @@ func (t *task) beginWait(site string, home *rdeque, src wakeSource) *waiter {
 	wt.home = home
 	wt.timer = nil
 	wt.src = src
+	wt.ext = nil
+	wt.kind = kind
+	wt.extN, wt.extErr = 0, nil
 	wt.refs.Store(2)
-	t.rt.noteSuspend(t, site, t.w.id, home)
+	t.rt.noteSuspend(t, site, kind, t.w.id, home)
 	t.w.stat.suspensions.Add(1)
 	return wt
 }
@@ -81,6 +95,8 @@ func (wt *waiter) release() {
 		wt.home = nil
 		wt.timer = nil
 		wt.src = nil
+		wt.ext = nil
+		wt.extErr = nil
 		rt.pools.waiters.Put(wt)
 	}
 }
@@ -97,8 +113,16 @@ func (wt *waiter) wake(abortErr error) bool {
 	}
 	// The claim is won: this goroutine is the unique resumer. Writes
 	// below are published to the task by the resume handoff chain
-	// (deque mutex, then the task's resume channel).
+	// (deque mutex, then the task's resume channel). The external
+	// payload is copied onto the task here because the waiter may be
+	// recycled before the task reads it.
 	t.wakeErr = abortErr
+	if abortErr == nil {
+		// Only a completion wake carries a payload. An abort wake must not
+		// read these fields: a stale Complete (about to lose this claim)
+		// may still be writing them, and the unwinding task never looks.
+		t.extN, t.extErr = wt.extN, wt.extErr
+	}
 	t.rt.dropSuspend(t)
 	wt.home.addResumed(t)
 	return true
@@ -106,18 +130,25 @@ func (wt *waiter) wake(abortErr error) bool {
 
 // abortWait is the cancellation abort: it stops a pending Latency timer
 // (reclaiming its pending-wake accounting), dequeues the waiter from its
-// wake source if it is parked on one, and wakes the task with err. It
-// consumes the scope reference, so it must be called exactly once — by
-// the canceling scope, or inline by armScope when registration finds the
-// scope already canceled. waiter's abortWait implements the scope's
-// aborter interface.
+// wake source if it is parked on one, interrupts an armed external
+// operation, and wakes the task with err. It consumes the scope
+// reference, so it must be called exactly once — by the canceling scope,
+// or inline by armScope when registration finds the scope already
+// canceled. waiter's abortWait implements the scope's aborter interface.
 func (wt *waiter) abortWait(err error) {
 	if wt.timer != nil && wt.timer.Stop() {
 		wt.t.rt.pendingWakes.Add(-1)
 	}
-	if wt.src != nil {
+	switch {
+	case wt.ext != nil:
+		// Interrupt the external operation, then wake the task directly:
+		// the completer's own (now stale) Complete will lose the claim
+		// and merely release its event reference.
+		wt.ext.CancelExternal(ExternalHandle{wt: wt}, err)
+		wt.wake(err)
+	case wt.src != nil:
 		wt.src.cancelWait(wt, err)
-	} else {
+	default:
 		wt.wake(err)
 	}
 	wt.release()
@@ -144,25 +175,27 @@ func (wt *waiter) deliver(p faultpoint.Point) {
 		wt.release()
 	case faultpoint.Delay:
 		rt.pendingWakes.Add(1)
-		time.AfterFunc(d, func() {
-			defer rt.pendingWakes.Add(-1)
-			wt.wake(nil)
-			wt.release()
-		})
+		rt.wheel.AfterFunc(d, deliverDelayed, wt)
 	case faultpoint.Dup:
 		wt.refs.Add(1) // the duplicate delivery's reference
 		wt.wake(nil)
 		rt.pendingWakes.Add(1)
-		time.AfterFunc(d, func() {
-			defer rt.pendingWakes.Add(-1)
-			wt.wake(nil) // stale epoch: discarded by the claim CAS
-			wt.release()
-		})
+		rt.wheel.AfterFunc(d, deliverDelayed, wt) // stale epoch: discarded by the claim CAS
 		wt.release()
 	default:
 		wt.wake(nil)
 		wt.release()
 	}
+}
+
+// deliverDelayed is the wheel callback for fault-delayed (and
+// fault-duplicated) wakeups; the waiter reference was transferred into
+// the timer when it was armed.
+func deliverDelayed(arg any) {
+	wt := arg.(*waiter)
+	wt.t.rt.pendingWakes.Add(-1)
+	wt.wake(nil)
+	wt.release()
 }
 
 // finishWait yields to the worker loop and, once resumed, deregisters
@@ -191,6 +224,7 @@ func (c *Ctx) finishWait(wt *waiter) {
 // watchdog never reads task fields concurrently with the task.
 type suspendInfo struct {
 	site   string
+	kind   WaitKind
 	since  time.Time
 	worker int
 	home   *rdeque
@@ -206,7 +240,7 @@ type suspendRegistry struct {
 	m  map[*task]suspendInfo
 }
 
-func (rt *runtimeState) noteSuspend(t *task, site string, worker int, home *rdeque) {
+func (rt *runtimeState) noteSuspend(t *task, site string, kind WaitKind, worker int, home *rdeque) {
 	if !rt.trackSuspends {
 		return
 	}
@@ -214,7 +248,7 @@ func (rt *runtimeState) noteSuspend(t *task, site string, worker int, home *rdeq
 	if rt.susReg.m == nil {
 		rt.susReg.m = make(map[*task]suspendInfo)
 	}
-	rt.susReg.m[t] = suspendInfo{site: site, since: time.Now(), worker: worker, home: home}
+	rt.susReg.m[t] = suspendInfo{site: site, kind: kind, since: time.Now(), worker: worker, home: home}
 	rt.susReg.mu.Unlock()
 }
 

@@ -17,8 +17,13 @@ var ErrStalled = errors.New("runtime: stalled (suspended tasks with no pending w
 // StallWait describes one suspension outstanding at stall time.
 type StallWait struct {
 	// Site names the suspending operation: "latency", "await",
-	// "chan-recv", or "chan-send".
+	// "chan-recv", "chan-send", or an external-await site such as
+	// "io-read".
 	Site string
+	// Kind classifies what the task was stuck on — timer, future,
+	// channel, fd, or generic external completion — so a stall report
+	// distinguishes a never-ready fd from a lost timer wakeup.
+	Kind WaitKind
 	// Age is how long the task had been suspended when the stall was
 	// declared.
 	Age time.Duration
@@ -34,8 +39,8 @@ type StallWait struct {
 }
 
 func (w StallWait) String() string {
-	return fmt.Sprintf("%s on worker %d (age %v, deque: %d runnable, %d suspended, %d resumed-pending)",
-		w.Site, w.Worker, w.Age.Round(time.Millisecond), w.DequeLen, w.DequeSuspended, w.DequeResumed)
+	return fmt.Sprintf("%s [%s] on worker %d (age %v, deque: %d runnable, %d suspended, %d resumed-pending)",
+		w.Site, w.Kind, w.Worker, w.Age.Round(time.Millisecond), w.DequeLen, w.DequeSuspended, w.DequeResumed)
 }
 
 // StallError is the structured deadlock / lost-wakeup diagnostic the
@@ -130,6 +135,7 @@ func (rt *runtimeState) stallError(quiet time.Duration) *StallError {
 		suspended, resumed := info.home.snapshot()
 		waits = append(waits, StallWait{
 			Site:           info.site,
+			Kind:           info.kind,
 			Age:            now.Sub(info.since),
 			Worker:         info.worker,
 			DequeLen:       info.home.q.Len(),

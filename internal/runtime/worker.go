@@ -169,6 +169,8 @@ func (w *worker) drainResumed() {
 			d.q.PushBottom(w.newTaskNode(t))
 			w.putSlice(ts[:0])
 		default:
+			w.stat.resumeBatches.Add(1)
+			w.stat.resumeBatchTasks.Add(int64(len(ts)))
 			d.q.PushBottom(w.newBatchNode(ts))
 		}
 		if d != w.active {

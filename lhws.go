@@ -22,9 +22,12 @@
 package lhws
 
 import (
+	"net"
+
 	"lhws/internal/dag"
 	"lhws/internal/experiments"
 	"lhws/internal/faultpoint"
+	"lhws/internal/io"
 	"lhws/internal/runtime"
 	"lhws/internal/sched"
 	"lhws/internal/workload"
@@ -233,6 +236,9 @@ const (
 	FaultChanWakeup = faultpoint.ChanWakeup
 	// FaultTaskBody is the entry of a task's user function.
 	FaultTaskBody = faultpoint.TaskBody
+	// FaultPollComplete is an external I/O completion being delivered to a
+	// suspended task (poller readiness, AwaitExternal completion).
+	FaultPollComplete = faultpoint.PollComplete
 )
 
 // Fault actions.
@@ -255,6 +261,62 @@ const (
 func SpawnValue[T any](c *Ctx, f func(*Ctx) T) *runtime.Value[T] {
 	return runtime.SpawnValue(c, f)
 }
+
+// Real-latency I/O (DESIGN.md §9): sockets whose Read/Write/Accept/Dial
+// suspend the calling task — never its worker — through the same
+// heavy-edge protocol as Ctx.Latency, so network waits overlap with
+// useful work exactly as the paper's model prescribes.
+type (
+	// IOConn is a socket with task-suspending Read and Write.
+	IOConn = io.Conn
+	// IOListener is a listening socket with task-suspending Accept.
+	IOListener = io.Listener
+)
+
+// IODial connects to addr, suspending the task for the handshake.
+func IODial(c *Ctx, network, addr string) (*IOConn, error) { return io.Dial(c, network, addr) }
+
+// IOListen opens a listening socket; only Accept suspends.
+func IOListen(c *Ctx, network, addr string) (*IOListener, error) {
+	return io.Listen(c, network, addr)
+}
+
+// IOWrap adopts an existing net.Conn (it must support deadlines, as all
+// TCP/Unix conns do) into the task runtime.
+func IOWrap(c *Ctx, nc net.Conn) *IOConn { return io.Wrap(c, nc) }
+
+// AwaitExternal suspends the task until an external completion arrives:
+// arm starts the operation and is given a complete callback (callable
+// from any goroutine, exactly once); the returned cancel is invoked if
+// the task's scope aborts first. This is the generic adapter that turns
+// any callback- or channel-shaped API into a heavy edge.
+func AwaitExternal[T any](c *Ctx, site string, arm func(complete func(T, error)) (cancel func(error))) (T, error) {
+	return runtime.AwaitExternal[T](c, site, arm)
+}
+
+// AwaitChan receives from ch, suspending the task instead of the worker.
+// The error is ErrChanClosed if ch was closed.
+func AwaitChan[T any](c *Ctx, ch <-chan T) (T, error) { return runtime.AwaitChan[T](c, ch) }
+
+// WaitKind classifies what a suspension is waiting for; the watchdog
+// reports it in StallWait.
+type WaitKind = runtime.WaitKind
+
+// Wait kinds.
+const (
+	// KindOther is an unclassified suspension.
+	KindOther = runtime.KindOther
+	// KindTimer waits on a Latency timer.
+	KindTimer = runtime.KindTimer
+	// KindFuture waits on a task completion (Await).
+	KindFuture = runtime.KindFuture
+	// KindChan waits on a runtime channel operation.
+	KindChan = runtime.KindChan
+	// KindFD waits on socket readiness or I/O completion.
+	KindFD = runtime.KindFD
+	// KindExternal waits on a generic external completion (AwaitExternal).
+	KindExternal = runtime.KindExternal
+)
 
 // Experiment drivers reproducing the paper's evaluation; see EXPERIMENTS.md.
 type (
