@@ -235,6 +235,22 @@ func (d *dispatcher) enqueue(op *ioOp) {
 		op.completeLocked(0, errOpCanceled)
 		return
 	}
+	if op.kind == opDial {
+		// A dial holds its goroutine for the entire connect (DialContext
+		// has no rotation slice), so it runs on a dedicated goroutine
+		// outside the bridge cap: cap concurrent slow dials would
+		// otherwise occupy every bridge and starve queued reads, writes,
+		// and accepts until OS connect timeouts expired. The goroutine
+		// parks in the kernel, cancellation interrupts it through the
+		// dial context, and close() still joins it via wg.
+		d.wg.Add(1)
+		d.mu.Unlock()
+		go func() {
+			defer d.wg.Done()
+			op.runDial(d)
+		}()
+		return
+	}
 	d.queue = append(d.queue, op)
 	switch {
 	case d.idle > 0:
@@ -323,7 +339,8 @@ func (op *ioOp) completeLocked(n int, err error) {
 	h.Complete(n, err)
 }
 
-// run executes one attempt of the op on the calling bridge.
+// run executes one attempt of the op on the calling bridge. Dials never
+// reach here: enqueue routes them to dedicated goroutines.
 func (op *ioOp) run(d *dispatcher) {
 	switch op.kind {
 	case opRead:
@@ -332,8 +349,6 @@ func (op *ioOp) run(d *dispatcher) {
 		op.runWrite(d)
 	case opAccept:
 		op.runAccept(d)
-	case opDial:
-		op.runDial(d)
 	}
 }
 
@@ -431,9 +446,9 @@ func (op *ioOp) runAccept(d *dispatcher) {
 }
 
 func (op *ioOp) runDial(d *dispatcher) {
-	// Dials do not rotate: DialContext holds this bridge until the
-	// connection (or cancellation via the context) resolves. Dials are
-	// rare relative to reads, and the context makes the kick immediate.
+	// Runs on its own goroutine (see enqueue), never a pooled bridge:
+	// DialContext holds the goroutine until the connection (or
+	// cancellation via the context) resolves, with no rotation slice.
 	ctx, cancel := context.WithCancel(context.Background())
 	op.mu.Lock()
 	if op.canceled {

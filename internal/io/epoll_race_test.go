@@ -1,0 +1,70 @@
+//go:build linux && lhwsepoll
+
+package io
+
+import (
+	"testing"
+	"time"
+
+	"lhws/internal/runtime"
+)
+
+// TestCancelVsParkStress hammers the two transitions of the epoll park
+// protocol that a cancellation can race:
+//
+//  1. park's registration fails while a concurrent cancel steals the
+//     parked claim and re-enqueues the op. The regression had park
+//     report "not parked" anyway, so retryOrComplete enqueued the op a
+//     second time and two bridges raced one op (use-after-recycle,
+//     nil-deref on the pooled op's cleared fields).
+//  2. cancel lands after retryOrComplete's canceled check but before
+//     park's claim store: its unpark CAS misses, and the regression
+//     left the canceled op (and its waiter) parked on an fd that never
+//     fires for the rest of the run.
+//
+// Short scope deadlines straddling the pollSlice boundary put the
+// cancel right where these windows open. The run finishing cleanly and
+// promptly under -race is the assertion.
+func TestCancelVsParkStress(t *testing.T) {
+	addr, cleanup := neverReadyPeer(t)
+	defer cleanup()
+	start := time.Now()
+	_, err := runtime.Run(runtime.Config{Workers: 4, Mode: runtime.LatencyHiding, Deadline: 120 * time.Second},
+		func(c *runtime.Ctx) {
+			const conns = 4
+			cs := make([]*Conn, conns)
+			for i := range cs {
+				cn, derr := Dial(c, "tcp", addr)
+				if derr != nil {
+					t.Errorf("dial: %v", derr)
+					return
+				}
+				cs[i] = cn
+			}
+			for iter := 0; iter < 60; iter++ {
+				// 1..5ms around the 2ms pollSlice: the cancel fires while
+				// the first attempt is timing out and parking.
+				cc, cancel := c.WithDeadline(time.Duration(1+iter%5) * time.Millisecond)
+				futs := make([]*runtime.Future, conns)
+				for i, cn := range cs {
+					cn := cn
+					futs[i] = cc.Spawn(func(child *runtime.Ctx) {
+						cn.Read(child, make([]byte, 1)) // never ready; unwinds on cancel
+					})
+				}
+				for _, f := range futs {
+					f.AwaitErr(c)
+				}
+				cancel()
+			}
+			for _, cn := range cs {
+				cn.Close()
+			}
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if el := time.Since(start); el > 60*time.Second {
+		t.Fatalf("stress run took %v; canceled parked ops are not completing promptly", el)
+	}
+}

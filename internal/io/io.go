@@ -26,9 +26,11 @@
 package io
 
 import (
+	"fmt"
 	"net"
 	"sync"
 	"syscall"
+	"time"
 
 	"lhws/internal/runtime"
 )
@@ -88,12 +90,16 @@ func (cn *Conn) clearOp(dir opKind, op *ioOp) {
 }
 
 // Wrap adopts an existing net.Conn into the task runtime. The conn must
-// support deadlines (every *net.TCPConn, *net.UnixConn, ... does);
-// in-memory pipes without deadline support would block bridges and are
-// rejected by the first operation's kick being impossible — prefer real
-// sockets.
-func Wrap(c *runtime.Ctx, nc net.Conn) *Conn {
-	return wrapConn(dispFor(c), nc)
+// support deadlines (every *net.TCPConn, *net.UnixConn, ... does):
+// rotation slices and the cancellation kick are both deadline sets, so a
+// conn whose SetDeadline fails could hold a bridge forever and hang the
+// run's shutdown. Wrap probes for that up front and rejects such conns
+// instead of relying on the caller to know.
+func Wrap(c *runtime.Ctx, nc net.Conn) (*Conn, error) {
+	if err := nc.SetDeadline(time.Time{}); err != nil {
+		return nil, fmt.Errorf("lhws/io: conn %T does not support deadlines: %w", nc, err)
+	}
+	return wrapConn(dispFor(c), nc), nil
 }
 
 func wrapConn(d *dispatcher, nc net.Conn) *Conn {

@@ -98,6 +98,7 @@ func (e *fdEntry) interest() uint32 {
 func (n *epollNotifier) park(op *ioOp, rc parkable) bool {
 	op.parked.Store(true)
 	registered := false
+	var regFd int32
 	err := rc.Control(func(fd uintptr) {
 		n.mu.Lock()
 		defer n.mu.Unlock()
@@ -128,14 +129,52 @@ func (n *epollNotifier) park(op *ioOp, rc parkable) bool {
 			return
 		}
 		registered = true
+		regFd = int32(fd)
 	})
 	if err != nil || !registered {
-		// Undo the park claim unless a concurrent cancel or close already
-		// took it (in which case the op is back in the queue and not ours).
-		op.parked.CompareAndSwap(true, false)
-		return false
+		// Registration failed: undo the park claim. If the undo CAS fails,
+		// a concurrent cancel or close already stole the claim AND
+		// re-enqueued the op — it is no longer ours, and reporting false
+		// would make retryOrComplete enqueue it a second time (two bridges
+		// then race one op, the first recycling it under the second).
+		// Report true instead: the op has been rerouted either way.
+		return !op.parked.CompareAndSwap(true, false)
+	}
+	// Close the cancel-vs-park window: a cancel that ran after
+	// retryOrComplete's canceled check but before the Store above found
+	// parked==false, so its unpark CAS missed and the op would sit in the
+	// epoll set waiting on an fd that may never fire. Re-check and unpark
+	// through the same claim protocol (exactly one of this CAS and any
+	// concurrent close's CAS wins, so the op is enqueued once).
+	op.mu.Lock()
+	canceled := op.canceled
+	op.mu.Unlock()
+	if canceled && op.parked.CompareAndSwap(true, false) {
+		n.drop(regFd, op)
+		n.d.enqueue(op)
 	}
 	return true
+}
+
+// drop clears op's slot in the fd table after an unpark. Staleness is
+// tolerated by design, but there is no reason to leave a pointer to an
+// op that is about to complete and be recycled.
+func (n *epollNotifier) drop(fd int32, op *ioOp) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e := n.ops[fd]
+	if e == nil {
+		return
+	}
+	if e.rd == op {
+		e.rd = nil
+	}
+	if e.wr == op {
+		e.wr = nil
+	}
+	if e.rd == nil && e.wr == nil {
+		delete(n.ops, fd)
+	}
 }
 
 // arm (re)registers fd with the union interest of e's slots. Caller

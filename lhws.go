@@ -281,9 +281,11 @@ func IOListen(c *Ctx, network, addr string) (*IOListener, error) {
 	return io.Listen(c, network, addr)
 }
 
-// IOWrap adopts an existing net.Conn (it must support deadlines, as all
-// TCP/Unix conns do) into the task runtime.
-func IOWrap(c *Ctx, nc net.Conn) *IOConn { return io.Wrap(c, nc) }
+// IOWrap adopts an existing net.Conn into the task runtime. The conn
+// must support deadlines (as all TCP/Unix conns do); a conn whose
+// SetDeadline errors is rejected up front, because cancellation and
+// shutdown both rely on deadline kicks to interrupt in-flight calls.
+func IOWrap(c *Ctx, nc net.Conn) (*IOConn, error) { return io.Wrap(c, nc) }
 
 // AwaitExternal suspends the task until an external completion arrives:
 // arm starts the operation and is given a complete callback (callable
