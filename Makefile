@@ -3,7 +3,7 @@ GO ?= go
 # Core packages whose hot paths the race/vet gates guard.
 CORE := ./internal/deque/... ./internal/runtime/... ./internal/sched/...
 
-.PHONY: all build test race race-core vet lint chaos bench-runtime bench-io bench-smoke ci figures clean
+.PHONY: all build test race race-core vet lhws-vet lint chaos bench-runtime bench-io bench-smoke ci figures clean
 
 all: build
 
@@ -26,10 +26,16 @@ race-core:
 	$(GO) test -race -count=1 $(CORE)
 
 # vet runs go vet plus the scheduler-aware analyzers in cmd/lhws-vet
-# (dequeowner, noblock, atomicpair, rngplumb — see DESIGN.md §6).
-vet:
+# (see DESIGN.md §6 and §10).
+vet: lhws-vet
 	$(GO) vet ./...
+
+# lhws-vet runs the seven scheduler-aware analyzers (dequeowner, noblock,
+# suspendcolor, lockheld, ctxleak, atomicpair, rngplumb) under both build
+# configurations, so the epoll notifier is analyzed too.
+lhws-vet:
 	$(GO) run ./cmd/lhws-vet ./...
+	$(GO) run ./cmd/lhws-vet -tags lhwsepoll ./...
 
 # lint is the formatting gate: fails if any file needs gofmt.
 lint:

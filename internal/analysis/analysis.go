@@ -21,7 +21,11 @@
 //
 //	//lhws:owner <justification>        assert the deque owner role
 //	//lhws:nonblocking                  mark a function as a checked hot path
+//	//lhws:nosuspend                    mark a function as a checked no-suspend region
 //	//lhws:allowblock <justification>   permit one blocking operation
+//	//lhws:allowsuspend <justification> permit one may-suspend call in a no-suspend region
+//	//lhws:locksafe <justification>     permit one may-suspend call under a held lock
+//	//lhws:ctxok <justification>        permit one Ctx escape from its task
 //	//lhws:nonatomic <justification>    permit one mixed atomic/plain access
 //	//lhws:rand-ok <justification>      permit one math/rand global use
 //
@@ -63,11 +67,17 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Prog is the whole-program call graph (see program.go), shared by
+	// every pass of a driver run. Analyzers that use interprocedural
+	// summaries must tolerate a nil Prog by falling back to their
+	// intraprocedural checks.
+	Prog *Program
+
 	// Report receives each diagnostic. The driver and the test harness
 	// install their own sinks.
 	Report func(Diagnostic)
 
-	directives map[string]map[int][]Directive // filename -> line -> directives
+	directives directiveIndex
 }
 
 // A Diagnostic is one finding at a source position.
@@ -113,36 +123,33 @@ func ParseDirective(c *ast.Comment) (Directive, bool) {
 	return Directive{Name: name, Args: strings.TrimSpace(args), Pos: c.Pos()}, true
 }
 
-// buildDirectiveIndex scans every comment in the pass's files once.
-func (p *Pass) buildDirectiveIndex() {
-	p.directives = make(map[string]map[int][]Directive)
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				d, ok := ParseDirective(c)
-				if !ok {
-					continue
-				}
-				pos := p.Fset.Position(c.Pos())
-				byLine := p.directives[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int][]Directive)
-					p.directives[pos.Filename] = byLine
-				}
-				byLine[pos.Line] = append(byLine[pos.Line], d)
+// directiveIndex maps filename -> line -> parsed directives; shared by
+// the per-package Pass and the whole-program Program.
+type directiveIndex map[string]map[int][]Directive
+
+func (idx directiveIndex) addFile(fset *token.FileSet, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := ParseDirective(c)
+			if !ok {
+				continue
 			}
+			pos := fset.Position(c.Pos())
+			byLine := idx[pos.Filename]
+			if byLine == nil {
+				byLine = make(map[int][]Directive)
+				idx[pos.Filename] = byLine
+			}
+			byLine[pos.Line] = append(byLine[pos.Line], d)
 		}
 	}
 }
 
-// DirectiveAt returns the named directive attached to the statement at
-// pos: on the same source line or on the line immediately above.
-func (p *Pass) DirectiveAt(pos token.Pos, name string) (Directive, bool) {
-	if p.directives == nil {
-		p.buildDirectiveIndex()
-	}
-	position := p.Fset.Position(pos)
-	byLine := p.directives[position.Filename]
+// at returns the named directive attached to the statement at pos: on
+// the same source line or on the line immediately above.
+func (idx directiveIndex) at(fset *token.FileSet, pos token.Pos, name string) (Directive, bool) {
+	position := fset.Position(pos)
+	byLine := idx[position.Filename]
 	for _, line := range []int{position.Line, position.Line - 1} {
 		for _, d := range byLine[line] {
 			if d.Name == name {
@@ -151,6 +158,18 @@ func (p *Pass) DirectiveAt(pos token.Pos, name string) (Directive, bool) {
 		}
 	}
 	return Directive{}, false
+}
+
+// DirectiveAt returns the named directive attached to the statement at
+// pos: on the same source line or on the line immediately above.
+func (p *Pass) DirectiveAt(pos token.Pos, name string) (Directive, bool) {
+	if p.directives == nil {
+		p.directives = make(directiveIndex)
+		for _, f := range p.Files {
+			p.directives.addFile(p.Fset, f)
+		}
+	}
+	return p.directives.at(p.Fset, pos, name)
 }
 
 // FuncDirective returns the named directive from a function's doc

@@ -57,7 +57,18 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
+	// The whole-program call graph spans the named packages and their
+	// fixture dependencies, so summary-based analyzers see cross-package
+	// facts exactly as the real driver does.
+	progPkgs := make([]*analysis.ProgramPackage, len(pkgs))
+	for i, pkg := range pkgs {
+		progPkgs[i] = &analysis.ProgramPackage{Pkg: pkg.Types, Files: pkg.Syntax, Info: pkg.TypesInfo}
+	}
+	prog := analysis.BuildProgram(pkgs[0].Fset, progPkgs)
 	for _, pkg := range pkgs {
+		if pkg.DepOnly {
+			continue
+		}
 		var diags []analysis.Diagnostic
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -65,6 +76,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 			Files:     pkg.Syntax,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			Prog:      prog,
 		}
 		pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
 		if err := a.Run(pass); err != nil {

@@ -1,0 +1,13 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"lhws/internal/analysis/analysistest"
+	"lhws/internal/analysis/ctxleak"
+)
+
+func TestCtxLeak(t *testing.T) {
+	td := analysistest.TestData(t)
+	analysistest.Run(t, td, ctxleak.Analyzer, "lhws/cl")
+}

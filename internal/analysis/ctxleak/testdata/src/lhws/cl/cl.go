@@ -1,0 +1,61 @@
+// Package cl exercises the ctxleak analyzer: every escape sink, the
+// shapes that legitimately stay inside the task's extent, and the
+// directive escape.
+package cl
+
+import "lhws/internal/runtime"
+
+// leaked is the package-level sink.
+var leaked *runtime.Ctx
+
+// seeded shows package-level var initialization is a sink too.
+var seeded = grab() // want `task context escapes its task \(stored in a package-level variable\)`
+
+func grab() *runtime.Ctx { return nil }
+
+type holder struct {
+	ctx *runtime.Ctx
+	val runtime.Ctx
+}
+
+func sinks(c *runtime.Ctx, h *holder, m map[int]*runtime.Ctx, s []*runtime.Ctx, ch chan *runtime.Ctx) {
+	leaked = c            // want `task context escapes its task \(stored in a package-level variable\)`
+	h.ctx = c             // want `task context escapes its task \(stored in a struct field\)`
+	m[0] = c              // want `task context escapes its task \(stored in a container element\)`
+	s[0] = c              // want `task context escapes its task \(stored in a container element\)`
+	ch <- c               // want `task context escapes its task \(sent on a channel\)`
+	_ = holder{ctx: c}    // want `task context escapes its task \(stored in a composite literal\)`
+	_ = []*runtime.Ctx{c} // want `task context escapes its task \(stored in a composite literal\)`
+	s = append(s, c)      // want `task context escapes its task \(appended to a slice\)`
+	_ = s
+}
+
+// values carry the same inner pointer as the *Ctx they were copied
+// from, so Ctx (non-pointer) stores are sinks too.
+func valueCopy(c *runtime.Ctx, h *holder) {
+	h.val = *c // want `task context escapes its task \(stored in a struct field\)`
+}
+
+func goSinks(c *runtime.Ctx) {
+	go use(c) // want `task context escapes its task \(passed to a goroutine\)`
+	go func() {
+		use(c) // want `task context escapes its task \(captured by a go-statement closure\)`
+	}()
+}
+
+func use(c *runtime.Ctx) {}
+
+// inTask shows the shapes that stay inside the task's dynamic extent:
+// locals, ordinary calls, returns, and closures that are not go'ed.
+func inTask(c *runtime.Ctx) *runtime.Ctx {
+	local := c
+	use(local)
+	f := func() { use(c) }
+	f()
+	return c
+}
+
+// vetted acknowledges a deliberate escape.
+func vetted(c *runtime.Ctx) {
+	leaked = c //lhws:ctxok fixture: the harness joins the task before reading
+}

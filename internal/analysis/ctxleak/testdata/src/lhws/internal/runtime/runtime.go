@@ -1,0 +1,6 @@
+// Package runtime is a fixture stand-in for lhws/internal/runtime: the
+// ctxleak analyzer recognizes the Ctx type by its (path, name) identity.
+package runtime
+
+// Ctx points into a pooled task shell.
+type Ctx struct{}

@@ -7,10 +7,20 @@
 // hermetic environments where module downloads are impossible, so load
 // reimplements the narrow slice the analyzers need: it shells out to
 // `go list -export -json -deps`, which compiles every dependency and
-// reports the path of each package's export data, then type-checks the
-// target packages from source with an importer that reads dependency
-// types from that export data. This is the same division of labour
-// go/packages uses in its default (export) mode.
+// reports the path of each package's export data, then type-checks
+// from source.
+//
+// Unlike the usual export-data division of labour, load type-checks
+// every non-standard dependency from source as well (in dependency
+// order, so type identities are shared), not just the packages named by
+// the patterns. The interprocedural summary engine
+// (analysis.BuildProgram) needs dependency function *bodies* to
+// propagate facts such as may-suspend across package boundaries;
+// export data carries types but no bodies. Standard-library packages
+// are still consumed as export data — their facts come from the
+// analyzers' seed tables. Dependencies loaded this way are marked
+// DepOnly; drivers analyze only the target packages but feed everything
+// to the call graph.
 package load
 
 import (
@@ -30,7 +40,7 @@ import (
 	"strings"
 )
 
-// A Package is one type-checked target package.
+// A Package is one type-checked package.
 type Package struct {
 	PkgPath   string
 	Name      string
@@ -40,6 +50,9 @@ type Package struct {
 	Syntax    []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+	// DepOnly marks a package loaded only because a target imports it:
+	// it contributes bodies to the call graph but is not analyzed.
+	DepOnly bool
 }
 
 // Config parameterizes a load.
@@ -49,6 +62,9 @@ type Config struct {
 	// Env, when non-nil, replaces the go command's environment. The
 	// analysistest harness uses this to load GOPATH-mode fixtures.
 	Env []string
+	// BuildFlags are extra flags for the go command (e.g. "-tags",
+	// "lhwsepoll"), so the suite can analyze tag-gated files.
+	BuildFlags []string
 }
 
 // listPackage is the subset of `go list -json` output the loader reads.
@@ -66,9 +82,18 @@ type listPackage struct {
 	Error      *struct{ Err string }
 }
 
-// Load lists, parses, and type-checks the packages matching patterns.
-// Packages named by the patterns are returned; their dependencies are
-// consumed only as export data.
+// loader carries the state of one Load call.
+type loader struct {
+	fset     *token.FileSet
+	byPath   map[string]*listPackage
+	checked  map[string]*Package // source-checked, by import path
+	checking map[string]bool     // cycle guard
+	fallback types.Importer      // export-data importer for std packages
+}
+
+// Load lists, parses, and type-checks the packages matching patterns
+// and every non-standard dependency (returned with DepOnly set), in
+// dependency order.
 func Load(cfg Config, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"."}
@@ -87,31 +112,56 @@ func Load(cfg Config, patterns ...string) ([]*Package, error) {
 	}
 
 	fset := token.NewFileSet()
-	var pkgs []*Package
+	ld := &loader{
+		fset:     fset,
+		byPath:   make(map[string]*listPackage, len(listed)),
+		checked:  make(map[string]*Package),
+		checking: make(map[string]bool),
+	}
 	for _, lp := range listed {
-		if lp.DepOnly {
+		ld.byPath[lp.ImportPath] = lp
+	}
+	ld.fallback = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+
+	var pkgs []*Package
+	targets := 0
+	for _, lp := range listed {
+		if lp.Standard {
 			continue
 		}
 		if lp.Error != nil {
 			return nil, fmt.Errorf("load: package %s: %s", lp.ImportPath, lp.Error.Err)
 		}
-		pkg, err := typecheck(fset, lp, exports)
+		pkg, err := ld.ensure(lp)
 		if err != nil {
 			return nil, err
 		}
+		pkg.DepOnly = lp.DepOnly
+		if !lp.DepOnly {
+			targets++
+		}
 		pkgs = append(pkgs, pkg)
 	}
-	if len(pkgs) == 0 {
+	if targets == 0 {
 		return nil, fmt.Errorf("load: no packages matched %v", patterns)
 	}
 	return pkgs, nil
 }
 
 func goList(cfg Config, patterns []string) ([]*listPackage, error) {
-	args := append([]string{
-		"list", "-e", "-export", "-deps",
+	args := []string{"list"}
+	args = append(args, cfg.BuildFlags...)
+	args = append(args,
+		"-e", "-export", "-deps",
 		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Imports,ImportMap,Incomplete,Error",
-	}, patterns...)
+	)
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = cfg.Dir
 	cmd.Env = cfg.Env
@@ -142,21 +192,65 @@ func goList(cfg Config, patterns []string) ([]*listPackage, error) {
 	return listed, nil
 }
 
-// typecheck parses a target package's files and type-checks them,
-// resolving imports through compiled export data.
-func typecheck(fset *token.FileSet, lp *listPackage, exports map[string]string) (*Package, error) {
+// ensure type-checks lp from source, memoized, checking its
+// non-standard dependencies first so every package in the load shares
+// one set of type identities.
+func (ld *loader) ensure(lp *listPackage) (*Package, error) {
+	if pkg, ok := ld.checked[lp.ImportPath]; ok {
+		return pkg, nil
+	}
+	if ld.checking[lp.ImportPath] {
+		return nil, fmt.Errorf("load: import cycle through %s", lp.ImportPath)
+	}
+	ld.checking[lp.ImportPath] = true
+	defer delete(ld.checking, lp.ImportPath)
+	pkg, err := ld.typecheck(lp)
+	if err != nil {
+		return nil, err
+	}
+	ld.checked[lp.ImportPath] = pkg
+	return pkg, nil
+}
+
+// srcImporter resolves an importing package's imports: through its
+// ImportMap (vendoring, test shadowing), then preferring source-checked
+// packages, then falling back to compiled export data (std).
+type srcImporter struct {
+	ld *loader
+	lp *listPackage
+}
+
+func (im srcImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.lp.ImportMap[path]; ok {
+		path = mapped
+	}
+	if dep := im.ld.byPath[path]; dep != nil && !dep.Standard {
+		if dep.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", dep.ImportPath, dep.Error.Err)
+		}
+		pkg, err := im.ld.ensure(dep)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return im.ld.fallback.Import(path)
+}
+
+// typecheck parses a package's files and type-checks them.
+func (ld *loader) typecheck(lp *listPackage) (*Package, error) {
 	pkg := &Package{
 		PkgPath: lp.ImportPath,
 		Name:    lp.Name,
 		Dir:     lp.Dir,
-		Fset:    fset,
+		Fset:    ld.fset,
 	}
 	for _, f := range lp.GoFiles {
 		path := f
 		if !filepath.IsAbs(path) {
 			path = filepath.Join(lp.Dir, f)
 		}
-		syntax, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		syntax, err := parser.ParseFile(ld.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("load: %v", err)
 		}
@@ -164,21 +258,8 @@ func typecheck(fset *token.FileSet, lp *listPackage, exports map[string]string) 
 		pkg.Syntax = append(pkg.Syntax, syntax)
 	}
 
-	// The importer maps source-level import paths through the package's
-	// ImportMap (vendoring, test shadowing) and then reads the compiled
-	// export data `go list -export` produced.
-	lookup := func(path string) (io.ReadCloser, error) {
-		if mapped, ok := lp.ImportMap[path]; ok {
-			path = mapped
-		}
-		exp, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(exp)
-	}
 	conf := types.Config{
-		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Importer: srcImporter{ld: ld, lp: lp},
 		Sizes:    types.SizesFor("gc", goruntime.GOARCH),
 	}
 	pkg.TypesInfo = &types.Info{
@@ -189,7 +270,7 @@ func typecheck(fset *token.FileSet, lp *listPackage, exports map[string]string) 
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	tpkg, err := conf.Check(lp.ImportPath, fset, pkg.Syntax, pkg.TypesInfo)
+	tpkg, err := conf.Check(lp.ImportPath, ld.fset, pkg.Syntax, pkg.TypesInfo)
 	if err != nil {
 		return nil, fmt.Errorf("load: type-checking %s: %v", lp.ImportPath, err)
 	}

@@ -1,0 +1,396 @@
+// Package lockheld flags sync.Mutex/RWMutex locks held across
+// may-suspend calls.
+//
+// A task that suspends while holding a mutex keeps it locked for the
+// entire wait: every worker that touches the lock then parks behind a
+// *suspended* task — a latency that was supposed to be hidden is now
+// serialized through the lock, and if the lock guards the wakeup path
+// itself the run deadlocks. The runtime's own discipline (DESIGN.md)
+// is that leaf locks are released before beginWait/finishWait; this
+// analyzer enforces the same rule on everything built on top.
+//
+// The check is a branch-sensitive walk of each function body: the set
+// of held locks is tracked per path (if/switch/select branches are
+// merged by union; loops are entered once), `defer mu.Unlock()` keeps
+// the lock held to the end of the function, and every statically
+// resolved call to a may-suspend function (the transitive coloring
+// shared with suspendcolor) while any lock is held is flagged with the
+// witness chain. A deliberate exception — e.g. a lock private to a
+// completed handoff — is acknowledged with //lhws:locksafe
+// <justification>.
+//
+// Function literals are checked as independent bodies: a literal may
+// run on another goroutine, so locks held at its creation site are not
+// assumed held inside it (and vice versa).
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"lhws/internal/analysis"
+	"lhws/internal/analysis/facts"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc:  "check that no sync.Mutex/RWMutex is held across a may-suspend call",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	maySuspend := facts.MaySuspendLeaf
+	if pass.Prog != nil {
+		maySuspend = facts.MaySuspend(pass.Prog).Call
+	}
+	s := &scanner{pass: pass, may: maySuspend}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				s.scanFunc(fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// held maps a lock's receiver expression (rendered as source text) to
+// the position it was acquired at. A nil map means the path has
+// terminated (return/panic/branch).
+type held map[string]token.Pos
+
+func clone(h held) held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// union merges the lock sets of two joining paths; a terminated path
+// (nil) contributes nothing. Holding on *either* path counts: the
+// suspend after the join is reachable with the lock held.
+func union(a, b held) held {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	for k, v := range b {
+		if _, ok := a[k]; !ok {
+			a[k] = v
+		}
+	}
+	return a
+}
+
+type scanner struct {
+	pass *analysis.Pass
+	may  func(*types.Func) (string, bool)
+	lits []*ast.FuncLit
+}
+
+// scanFunc checks one body and then every literal discovered inside
+// it, each with an empty initial lock set.
+func (s *scanner) scanFunc(body *ast.BlockStmt) {
+	s.block(body.List, make(held))
+	for len(s.lits) > 0 {
+		lit := s.lits[0]
+		s.lits = s.lits[1:]
+		s.block(lit.Body.List, make(held))
+	}
+}
+
+func (s *scanner) block(list []ast.Stmt, h held) held {
+	for _, st := range list {
+		h = s.stmt(st, h)
+		if h == nil {
+			return nil
+		}
+	}
+	return h
+}
+
+func (s *scanner) stmt(st ast.Stmt, h held) held {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		var term bool
+		h, term = s.calls(st.X, h)
+		if term {
+			return nil
+		}
+		return h
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			h, _ = s.calls(e, h)
+		}
+		return nil
+	case *ast.BranchStmt: // break/continue/goto leave this chain
+		return nil
+	case *ast.DeferStmt:
+		// Arguments are evaluated now; the call itself runs at return.
+		// defer mu.Unlock() is the idiomatic "held to end of function":
+		// the lock simply stays in the held set.
+		for _, a := range st.Call.Args {
+			h, _ = s.calls(a, h)
+		}
+		if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+			s.lits = append(s.lits, lit)
+		}
+		return h
+	case *ast.GoStmt:
+		for _, a := range st.Call.Args {
+			h, _ = s.calls(a, h)
+		}
+		if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+			s.lits = append(s.lits, lit)
+		}
+		return h
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			h, _ = s.calls(e, h)
+		}
+		for _, e := range st.Lhs {
+			h, _ = s.calls(e, h)
+		}
+		return h
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						h, _ = s.calls(e, h)
+					}
+				}
+			}
+		}
+		return h
+	case *ast.SendStmt:
+		h, _ = s.calls(st.Chan, h)
+		h, _ = s.calls(st.Value, h)
+		return h
+	case *ast.IncDecStmt:
+		h, _ = s.calls(st.X, h)
+		return h
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, h)
+	case *ast.BlockStmt:
+		return s.block(st.List, h)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			h = s.stmt(st.Init, h)
+			if h == nil {
+				return nil
+			}
+		}
+		h, _ = s.calls(st.Cond, h)
+		thenOut := s.block(st.Body.List, clone(h))
+		elseOut := h
+		if st.Else != nil {
+			elseOut = s.stmt(st.Else, clone(h))
+		}
+		return union(thenOut, elseOut)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			h = s.stmt(st.Init, h)
+			if h == nil {
+				return nil
+			}
+		}
+		if st.Cond != nil {
+			h, _ = s.calls(st.Cond, h)
+		}
+		bodyOut := s.block(st.Body.List, clone(h))
+		if st.Post != nil && bodyOut != nil {
+			bodyOut = s.stmt(st.Post, bodyOut)
+		}
+		if st.Cond == nil && bodyOut == nil {
+			// for {}: the only way past the loop is a break inside it;
+			// approximate the exit with the entry set.
+			return h
+		}
+		return union(h, bodyOut)
+	case *ast.RangeStmt:
+		h, _ = s.calls(st.X, h)
+		bodyOut := s.block(st.Body.List, clone(h))
+		return union(h, bodyOut)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			h = s.stmt(st.Init, h)
+			if h == nil {
+				return nil
+			}
+		}
+		if st.Tag != nil {
+			h, _ = s.calls(st.Tag, h)
+		}
+		return s.clauses(st.Body.List, h)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			h = s.stmt(st.Init, h)
+			if h == nil {
+				return nil
+			}
+		}
+		return s.clauses(st.Body.List, h)
+	case *ast.SelectStmt:
+		var out held
+		for _, clause := range st.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			ch := clone(h)
+			if cc.Comm != nil {
+				ch = s.stmt(cc.Comm, ch)
+			}
+			if ch != nil {
+				ch = s.block(cc.Body, ch)
+			}
+			out = union(out, ch)
+		}
+		return out
+	default:
+		return h
+	}
+}
+
+// clauses joins switch/type-switch case bodies; without a default the
+// entry set also flows past the switch.
+func (s *scanner) clauses(list []ast.Stmt, h held) held {
+	var out held
+	hasDefault := false
+	for _, clause := range list {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		ch := clone(h)
+		for _, e := range cc.List {
+			ch, _ = s.calls(e, ch)
+		}
+		out = union(out, s.block(cc.Body, ch))
+	}
+	if !hasDefault {
+		out = union(out, h)
+	}
+	return out
+}
+
+// calls walks an expression in source order, applying Lock/Unlock
+// effects, checking may-suspend calls against the held set, and
+// queueing function literals for independent scanning. It reports
+// terminated=true when the expression is a call to panic.
+func (s *scanner) calls(e ast.Expr, h held) (out held, terminated bool) {
+	if e == nil {
+		return h, false
+	}
+	ast.Inspect(e, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			s.lits = append(s.lits, x)
+			return false
+		case *ast.CallExpr:
+			// Sub-expressions (nested calls in Fun/Args) are visited by
+			// the same Inspect before this classification matters for
+			// them; lock ops never appear as sub-expressions because
+			// Lock/Unlock have no results.
+			if key, op, ok := lockOp(s.pass.TypesInfo, x); ok {
+				switch op {
+				case opLock:
+					if _, dup := h[key]; !dup {
+						h[key] = x.Pos()
+					}
+				case opUnlock:
+					delete(h, key)
+				}
+				return true
+			}
+			if isPanic(s.pass.TypesInfo, x) {
+				terminated = true
+				return true
+			}
+			if len(h) > 0 {
+				if fn := analysis.Callee(s.pass.TypesInfo, x); fn != nil {
+					if desc, ok := s.may(fn); ok {
+						s.report(x.Pos(), h, desc)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return h, terminated
+}
+
+func (s *scanner) report(pos token.Pos, h held, desc string) {
+	if s.pass.Suppressed(pos, "locksafe") {
+		return
+	}
+	names := make([]string, 0, len(h))
+	for k := range h {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	first := h[names[0]]
+	s.pass.Reportf(pos, "call may suspend the task while %s is locked (acquired at line %d): %s; a suspended task holds the lock across its entire wait — unlock before the wait or justify with //lhws:locksafe",
+		strings.Join(names, ", "), s.pass.Fset.Position(first).Line, desc)
+}
+
+type lockKind int
+
+const (
+	opLock lockKind = iota
+	opUnlock
+)
+
+// lockOp classifies a call as a sync.Mutex/RWMutex acquire or release
+// and returns the lock's receiver expression as its identity.
+func lockOp(info *types.Info, call *ast.CallExpr) (string, lockKind, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	var op lockKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", 0, false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return "", 0, false
+	}
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", 0, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" ||
+		(obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
+		return "", 0, false
+	}
+	return types.ExprString(sel.X), op, true
+}
+
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,13 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"lhws/internal/analysis/analysistest"
+	"lhws/internal/analysis/lockheld"
+)
+
+func TestLockHeld(t *testing.T) {
+	td := analysistest.TestData(t)
+	analysistest.Run(t, td, lockheld.Analyzer, "lhws/lh")
+}

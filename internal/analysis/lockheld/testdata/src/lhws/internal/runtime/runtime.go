@@ -1,0 +1,15 @@
+// Package runtime is a fixture stand-in for lhws/internal/runtime,
+// carrying the identities of the may-suspend seeds.
+package runtime
+
+import "time"
+
+type Ctx struct{}
+
+// Latency is a may-suspend seed.
+func (c *Ctx) Latency(d time.Duration) {}
+
+type Future struct{}
+
+// Await is a may-suspend seed.
+func (f *Future) Await(c *Ctx) (any, error) { return nil, nil }

@@ -1,0 +1,128 @@
+// Package lh exercises the lockheld analyzer: locks held across direct
+// and transitive suspensions, defer-kept locks, branch joins, the
+// release-before-wait clean shape, literal independence, and the
+// locksafe escape.
+package lh
+
+import (
+	"sync"
+
+	"lhws/internal/runtime"
+)
+
+type table struct {
+	mu    sync.Mutex
+	state int
+}
+
+// heldAcross is the basic bug: the mutex stays locked for the entire
+// suspension.
+func heldAcross(t *table, c *runtime.Ctx) {
+	t.mu.Lock()
+	t.state++
+	c.Latency(0) // want `call may suspend the task while t\.mu is locked \(acquired at line 21\)`
+	t.mu.Unlock()
+}
+
+// deferHeld: defer mu.Unlock() keeps the lock held to the end of the
+// function, so the suspension below still runs under it.
+func deferHeld(t *table, f *runtime.Future, c *runtime.Ctx) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f.Await(c) // want `call may suspend the task while t\.mu is locked`
+}
+
+// transitive: the suspension is one call away; the witness chain names
+// the path.
+func transitive(t *table, c *runtime.Ctx) {
+	t.mu.Lock()
+	doWait(c) // want `while t\.mu is locked .*: lh\.doWait → \(\*runtime\.Ctx\)\.Latency`
+	t.mu.Unlock()
+}
+
+func doWait(c *runtime.Ctx) { c.Latency(0) }
+
+// branchHeld: the lock is taken on one branch only, but the suspension
+// after the join is still reachable with it held.
+func branchHeld(t *table, c *runtime.Ctx, b bool) {
+	if b {
+		t.mu.Lock()
+	}
+	c.Latency(0) // want `call may suspend the task while t\.mu is locked`
+	if b {
+		t.mu.Unlock()
+	}
+}
+
+// rlockHeld: read locks count too — a suspended reader still blocks
+// writers.
+func rlockHeld(rw *sync.RWMutex, c *runtime.Ctx) {
+	rw.RLock()
+	c.Latency(0) // want `call may suspend the task while rw is locked`
+	rw.RUnlock()
+}
+
+// releaseFirst is the sanctioned shape: unlock before the wait.
+func releaseFirst(t *table, c *runtime.Ctx) {
+	t.mu.Lock()
+	t.state++
+	t.mu.Unlock()
+	c.Latency(0)
+}
+
+// bothBranchesRelease: every path to the suspension has released.
+func bothBranchesRelease(t *table, c *runtime.Ctx, b bool) {
+	t.mu.Lock()
+	if b {
+		t.state++
+		t.mu.Unlock()
+	} else {
+		t.mu.Unlock()
+	}
+	c.Latency(0)
+}
+
+// earlyReturn: the locked path returns before the suspension.
+func earlyReturn(t *table, c *runtime.Ctx, b bool) {
+	t.mu.Lock()
+	if b {
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	c.Latency(0)
+}
+
+// litIndependent: a literal runs on its own goroutine; locks held at
+// its creation site are not assumed held inside it.
+func litIndependent(t *table, c *runtime.Ctx) func() {
+	t.mu.Lock()
+	f := func() {
+		c.Latency(0)
+	}
+	t.mu.Unlock()
+	return f
+}
+
+// litOwnLock: but a literal's own locking is checked on its own terms.
+func litOwnLock(t *table, c *runtime.Ctx) func() {
+	return func() {
+		t.mu.Lock()
+		c.Latency(0) // want `call may suspend the task while t\.mu is locked`
+		t.mu.Unlock()
+	}
+}
+
+// vetted acknowledges a deliberate hold.
+func vetted(t *table, c *runtime.Ctx) {
+	t.mu.Lock()
+	c.Latency(0) //lhws:locksafe fixture: the lock is private to this test and nothing else contends
+	t.mu.Unlock()
+}
+
+// bare escapes still need a justification.
+func bare(t *table, c *runtime.Ctx) {
+	t.mu.Lock()
+	c.Latency(0) //lhws:locksafe // want `lhws:locksafe directive needs a justification`
+	t.mu.Unlock()
+}

@@ -3,6 +3,8 @@ package multichecker_test
 import (
 	"bytes"
 	"go/ast"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -42,5 +44,54 @@ func TestModuleModeLoadAndReport(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "found main in lhws/cmd/lhws-vet (toy)") {
 		t.Fatalf("missing diagnostic, got:\n%s", out.String())
+	}
+}
+
+// TestJSONGolden locks down the -json output format: a toy analyzer
+// flags every function in the jsonfix fixture, and the emitted array —
+// file, line, col, analyzer, message, ordering, indentation — must
+// match the golden file byte for byte (after making paths relative).
+func TestJSONGolden(t *testing.T) {
+	fns := &analysis.Analyzer{
+		Name: "fns",
+		Doc:  "flags every function declaration",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+
+	var out bytes.Buffer
+	code := multichecker.Run(&out, []string{"-json", "./testdata/jsonfix"}, []*analysis.Analyzer{fns})
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.ReplaceAll(out.String(), cwd+string(filepath.Separator), "")
+	golden, err := os.ReadFile(filepath.Join("testdata", "json.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(golden) {
+		t.Errorf("-json output differs from testdata/json.golden:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+
+	// A clean run still emits a (valid, empty) JSON array and exits 0.
+	out.Reset()
+	silent := &analysis.Analyzer{Name: "silent", Doc: "never reports", Run: func(*analysis.Pass) error { return nil }}
+	if code := multichecker.Run(&out, []string{"-json", "./testdata/jsonfix"}, []*analysis.Analyzer{silent}); code != 0 {
+		t.Fatalf("clean run: exit %d, output:\n%s", code, out.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out.String())
 	}
 }

@@ -1,0 +1,11 @@
+// Package jsonfix is the golden-file fixture for lhws-vet -json:
+// deterministic findings at fixed positions. The go tool skips testdata
+// directories in ./... expansion, so this package is only ever loaded
+// by the multichecker test naming it explicitly.
+package jsonfix
+
+func alpha() int { return 1 }
+
+func beta() int { return alpha() + 1 }
+
+var _ = beta

@@ -23,33 +23,48 @@
 //     (worker hot paths consult Decide instead);
 //   - calls to function values (closures, func fields), whose targets
 //     the analyzer cannot see;
-//   - calls to same-package functions that are not themselves marked
-//     //lhws:nonblocking, so the discipline propagates through the call
-//     graph one annotation at a time.
+//   - calls to any function — same package or not — whose transitive
+//     may-block summary (see internal/analysis/facts.MayBlock) shows
+//     an unescaped path to a parking operation. The diagnostic carries
+//     the witness chain. Callees that are themselves marked
+//     //lhws:nonblocking are not re-flagged at the call site: their
+//     bodies are checked on their own terms, so a violation is
+//     reported once, where it happens.
+//
+// The summary-based rule replaces the old syntactic one ("any call to
+// a same-package function not marked //lhws:nonblocking"), which was
+// both a false-positive generator — provably non-blocking helpers had
+// to be annotated or escaped — and a false-negative one: a blocking
+// helper one package away was invisible.
 //
 // Individual operations that are blocking by design — a bounded leaf
 // critical section, the task-grant handoff, deliberate backoff — are
 // acknowledged with a statement-level //lhws:allowblock directive whose
-// argument must state the justification.
+// argument must state the justification. Justified escapes also stop
+// the summary propagation: a blocking operation acknowledged where it
+// happens does not taint the functions above it.
 //
 // Independently of the directive, the analyzer checks task code: any
 // function or closure that takes a *runtime.Ctx parameter runs on a
 // worker, so a bare net call inside it (conn.Read, listener.Accept,
 // net.Dial, DNS lookups) parks that worker for the operation's full
 // latency — precisely the blocking baseline the latency-hiding
-// scheduler exists to beat. Such calls are flagged with a pointer to
+// scheduler exists to beat. Both direct net calls and calls to helpers
+// whose net-block summary reaches one are flagged, with a pointer to
 // lhws/internal/io, whose Conn/Listener/Dial suspend the task through a
-// heavy edge instead. //lhws:allowblock acknowledges deliberate
-// exceptions (an immediate bind, a diagnostic path).
+// heavy edge instead. Helpers that take a Ctx themselves are task code
+// in their own right and are checked (and flagged) there, not at their
+// call sites. //lhws:allowblock acknowledges deliberate exceptions (an
+// immediate bind, a diagnostic path).
 package noblock
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"lhws/internal/analysis"
+	"lhws/internal/analysis/facts"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -58,42 +73,11 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// blockingCalls maps types.Func.FullName to the reason it parks.
-var blockingCalls = map[string]string{
-	"time.Sleep":                                  "sleeps the worker",
-	"(*sync.Mutex).Lock":                          "may park on lock contention",
-	"(*sync.RWMutex).Lock":                        "may park on lock contention",
-	"(*sync.RWMutex).RLock":                       "may park on lock contention",
-	"(*sync.WaitGroup).Wait":                      "parks until the group drains",
-	"(*sync.Cond).Wait":                           "parks until signalled",
-	"(*sync.Once).Do":                             "parks while another goroutine runs the function",
-	"(sync.Locker).Lock":                          "may park on lock contention",
-	"(*lhws/internal/deque.Locked).PushBottom":    "mutex-backed deque; hot paths must use the lock-free ChaseLev",
-	"(*lhws/internal/deque.Locked).PopBottom":     "mutex-backed deque; hot paths must use the lock-free ChaseLev",
-	"(*lhws/internal/deque.Locked).PopTop":        "mutex-backed deque; hot paths must use the lock-free ChaseLev",
-	"(*lhws/internal/deque.Locked).Len":           "mutex-backed deque; hot paths must use the lock-free ChaseLev",
-	"(*lhws/internal/deque.Locked).Empty":         "mutex-backed deque; hot paths must use the lock-free ChaseLev",
-	"(*lhws/internal/faultpoint.Injector).Inject": "sleeps or panics by design (chaos injection); worker hot paths must use Decide and act non-blockingly",
-}
-
-// netBlockingNames are the package-net functions and methods (on any of
-// net's conn/listener types or interfaces) that park the calling
-// goroutine for a network round trip.
-var netBlockingNames = map[string]bool{
-	"Read":        true,
-	"Write":       true,
-	"Accept":      true,
-	"Dial":        true,
-	"DialContext": true,
-	"DialTimeout": true,
-	"Listen":      true,
-	"ReadFrom":    true,
-	"WriteTo":     true,
-}
-
 func run(pass *analysis.Pass) error {
 	checkTaskNet(pass)
-	// First pass: which same-package functions are declared nonblocking?
+	// Which same-package functions are declared nonblocking? (For other
+	// packages the Program answers; for a nil Prog only same-package
+	// annotations are visible, matching the old behaviour.)
 	nonblocking := make(map[types.Object]bool)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -108,6 +92,12 @@ func run(pass *analysis.Pass) error {
 			}
 		}
 	}
+	var mayBlock func(*types.Func) (string, bool)
+	if pass.Prog != nil {
+		mayBlock = facts.MayBlock(pass.Prog).Call
+	} else {
+		mayBlock = facts.MayBlockLeaf
+	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -115,16 +105,22 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil && nonblocking[obj] {
-				check(pass, fd, nonblocking)
+				check(pass, fd, nonblocking, mayBlock)
 			}
 		}
 	}
 	return nil
 }
 
-// checkTaskNet flags bare net calls in task code — every FuncDecl and
-// FuncLit whose parameters include a *runtime.Ctx.
+// checkTaskNet flags net calls that block the worker in task code —
+// every FuncDecl and FuncLit whose parameters include a *runtime.Ctx.
 func checkTaskNet(pass *analysis.Pass) {
+	var netBlock func(*types.Func) (string, bool)
+	if pass.Prog != nil {
+		netBlock = facts.NetBlock(pass.Prog).Call
+	} else {
+		netBlock = facts.NetBlockLeaf
+	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			var ft *ast.FuncType
@@ -140,13 +136,13 @@ func checkTaskNet(pass *analysis.Pass) {
 			if body == nil || !hasCtxParam(pass, ft) {
 				return true
 			}
-			checkNetCalls(pass, body)
+			checkNetCalls(pass, body, netBlock)
 			return true // nested task closures still get their own visit
 		})
 	}
 }
 
-func checkNetCalls(pass *analysis.Pass, body *ast.BlockStmt) {
+func checkNetCalls(pass *analysis.Pass, body *ast.BlockStmt, netBlock func(*types.Func) (string, bool)) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
@@ -154,16 +150,31 @@ func checkNetCalls(pass *analysis.Pass, body *ast.BlockStmt) {
 			// param it is task code itself; without one its execution
 			// context is unknowable here.
 			return false
+		case *ast.GoStmt:
+			// The spawned body runs on its own goroutine, not under
+			// this task's worker.
+			return false
 		case *ast.CallExpr:
 			fn := analysis.Callee(pass.TypesInfo, n)
-			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net" {
+			if fn == nil {
 				return true
 			}
-			name := fn.Name()
-			if netBlockingNames[name] || strings.HasPrefix(name, "Lookup") {
+			if _, direct := facts.NetBlockLeaf(fn); direct {
 				report(pass, n.Pos(),
 					"%s blocks the worker under this task for the operation's full latency; use lhws/internal/io so the task suspends instead",
 					fn.FullName())
+				return true
+			}
+			// Transitive: a helper without a Ctx of its own that reaches
+			// a bare net call. Ctx-taking helpers are task code and are
+			// checked where they are defined.
+			if facts.TakesCtx(fn) {
+				return true
+			}
+			if desc, ok := netBlock(fn); ok {
+				report(pass, n.Pos(),
+					"call reaches a blocking net call under this task: %s; use lhws/internal/io so the task suspends instead",
+					desc)
 			}
 		}
 		return true
@@ -177,54 +188,17 @@ func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
 		return false
 	}
 	for _, field := range ft.Params.List {
-		t := pass.TypesInfo.TypeOf(field.Type)
-		ptr, ok := t.(*types.Pointer)
-		if !ok {
-			continue
-		}
-		named, ok := ptr.Elem().(*types.Named)
-		if !ok {
-			continue
-		}
-		obj := named.Obj()
-		if obj.Name() != "Ctx" || obj.Pkg() == nil {
-			continue
-		}
-		if p := obj.Pkg().Path(); p == "lhws/internal/runtime" || p == "lhws" {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && facts.IsCtxPtr(t) {
 			return true
 		}
 	}
 	return false
 }
 
-func check(pass *analysis.Pass, fd *ast.FuncDecl, nonblocking map[types.Object]bool) {
+func check(pass *analysis.Pass, fd *ast.FuncDecl, nonblocking map[types.Object]bool, mayBlock func(*types.Func) (string, bool)) {
 	// The send/receive in a select's comm clauses is accounted for by the
-	// select itself (blocking iff there is no default case); collect those
-	// nodes so the general send/receive cases below skip them.
-	commOps := make(map[ast.Node]bool)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectStmt)
-		if !ok {
-			return true
-		}
-		for _, clause := range sel.Body.List {
-			cc, ok := clause.(*ast.CommClause)
-			if !ok || cc.Comm == nil {
-				continue
-			}
-			switch comm := cc.Comm.(type) {
-			case *ast.SendStmt:
-				commOps[comm] = true
-			case *ast.ExprStmt:
-				commOps[ast.Unparen(comm.X)] = true
-			case *ast.AssignStmt:
-				for _, rhs := range comm.Rhs {
-					commOps[ast.Unparen(rhs)] = true
-				}
-			}
-		}
-		return true
-	})
+	// select itself (blocking iff there is no default case).
+	commOps := facts.SelectCommOps(fd.Body)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if commOps[n] {
 			return true
@@ -262,13 +236,13 @@ func check(pass *analysis.Pass, fd *ast.FuncDecl, nonblocking map[types.Object]b
 				report(pass, n.Pos(), "select without default blocks the worker loop")
 			}
 		case *ast.CallExpr:
-			checkCall(pass, n, nonblocking)
+			checkCall(pass, n, nonblocking, mayBlock)
 		}
 		return true
 	})
 }
 
-func checkCall(pass *analysis.Pass, call *ast.CallExpr, nonblocking map[types.Object]bool) {
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, nonblocking map[types.Object]bool, mayBlock func(*types.Func) (string, bool)) {
 	fn := analysis.Callee(pass.TypesInfo, call)
 	if fn == nil {
 		// Conversion, builtin, or a call of a function value. The first
@@ -278,36 +252,22 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, nonblocking map[types.Ob
 		}
 		return
 	}
-	if reason, ok := blockingCalls[fn.FullName()]; ok {
+	if reason, ok := facts.BlockingCalls[fn.FullName()]; ok {
 		report(pass, call.Pos(), "%s %s", fn.FullName(), reason)
 		return
 	}
-	if (fn.Pkg() == pass.Pkg && fn.Signature().Recv() == nil) || samePackageMethod(pass, fn) {
-		if !nonblocking[funcObject(fn)] {
-			report(pass, call.Pos(), "call to %s, which is not marked //lhws:nonblocking; annotate it or justify with //lhws:allowblock", fn.Name())
-		}
+	// A callee marked //lhws:nonblocking is checked where it is
+	// defined; re-flagging its call sites would report each violation
+	// many times.
+	if nonblocking[fn.Origin()] {
+		return
 	}
-}
-
-// samePackageMethod reports whether fn is a concrete method declared in
-// the package under analysis (interface methods have no body to vet and
-// are skipped).
-func samePackageMethod(pass *analysis.Pass, fn *types.Func) bool {
-	if fn.Pkg() != pass.Pkg {
-		return false
+	if pass.Prog != nil && pass.Prog.FuncMarked(fn, "nonblocking") {
+		return
 	}
-	recv := fn.Signature().Recv()
-	if recv == nil {
-		return false
+	if desc, ok := mayBlock(fn); ok {
+		report(pass, call.Pos(), "call may block the worker: %s; make the callee non-blocking (and mark it //lhws:nonblocking) or justify with //lhws:allowblock", desc)
 	}
-	if _, ok := recv.Type().Underlying().(*types.Interface); ok {
-		return false
-	}
-	return true
-}
-
-func funcObject(fn *types.Func) types.Object {
-	return fn.Origin()
 }
 
 // isOpaqueCall reports whether call invokes a function value (rather

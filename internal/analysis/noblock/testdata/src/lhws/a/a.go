@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"lhws/blocky"
 	"lhws/internal/deque"
 	"lhws/internal/faultpoint"
 )
@@ -23,9 +24,20 @@ func hot(mu *sync.Mutex, wg *sync.WaitGroup, ch chan int) {
 	}
 	for range ch { // want `range over channel`
 	}
-	helper() // want `not marked //lhws:nonblocking`
+	helper()  // provably non-blocking: the summary-based rule clears it unannotated
+	sleeper() // want `call may block the worker: a\.sleeper → a\.nap → time\.Sleep`
+	waits(ch) // want `call may block the worker: a\.waits`
+	vetted(ch)
 	var f func()
 	f() // want `function value`
+}
+
+// crossPkg shows the old same-package-only rule's false negative is
+// gone: a blocking helper one package away is caught with its chain.
+//
+//lhws:nonblocking
+func crossPkg(ch chan int) {
+	blocky.Park(ch) // want `call may block the worker: blocky\.Park`
 }
 
 // lockedDeque shows the mutex-backed deque is banned from hot paths.
@@ -43,7 +55,23 @@ func chaosHot(inj *faultpoint.Injector) {
 	inj.Inject(faultpoint.Suspend) // want `sleeps or panics by design`
 }
 
+// helper is provably non-blocking; no annotation needed.
 func helper() {}
+
+// sleeper reaches time.Sleep two hops down; the summary carries the
+// witness chain to the flagged call site.
+func sleeper() { nap() }
+
+func nap() { time.Sleep(time.Millisecond) }
+
+// waits parks on a bare channel receive; the syntactic scan marks it.
+func waits(ch chan int) { <-ch }
+
+// vetted blocks, but the operation is justified where it happens, so
+// the escape also stops the summary from tainting callers.
+func vetted(ch chan int) {
+	<-ch //lhws:allowblock drained by the test harness before workers start
+}
 
 // cold is unannotated: nothing inside it is checked.
 func cold(mu *sync.Mutex) {

@@ -1,0 +1,7 @@
+// Package blocky is a dependency fixture: an unannotated, unescaped
+// blocking helper in another package, invisible to the old
+// same-package rule and caught by the summary-based one.
+package blocky
+
+// Park parks on a channel receive.
+func Park(ch chan int) int { return <-ch }

@@ -1,0 +1,13 @@
+package suspendcolor_test
+
+import (
+	"testing"
+
+	"lhws/internal/analysis/analysistest"
+	"lhws/internal/analysis/suspendcolor"
+)
+
+func TestSuspendColor(t *testing.T) {
+	td := analysistest.TestData(t)
+	analysistest.Run(t, td, suspendcolor.Analyzer, "lhws/sc")
+}

@@ -1,0 +1,9 @@
+// Package c1 is the top hop of the cross-package chain fixture.
+package c1
+
+import (
+	"lhws/chain/c2"
+	"lhws/internal/runtime"
+)
+
+func Top(c *runtime.Ctx) { c2.Mid(c) }

@@ -1,0 +1,9 @@
+// Package c2 is the middle hop of the cross-package chain fixture.
+package c2
+
+import (
+	"lhws/chain/c3"
+	"lhws/internal/runtime"
+)
+
+func Mid(c *runtime.Ctx) { c3.Deep(c) }

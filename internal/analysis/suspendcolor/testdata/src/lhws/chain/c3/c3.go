@@ -1,0 +1,11 @@
+// Package c3 holds the deepest hop of the cross-package chain fixture:
+// the function that actually touches a may-suspend leaf.
+package c3
+
+import (
+	"time"
+
+	"lhws/internal/runtime"
+)
+
+func Deep(c *runtime.Ctx) { c.Latency(time.Millisecond) }

@@ -1,0 +1,28 @@
+// Package runtime is a fixture stand-in for lhws/internal/runtime: the
+// suspension seeds are keyed by (package path, receiver, name), so these
+// stubs carry the same identities as the real heavy-edge entry points.
+package runtime
+
+import "time"
+
+// Ctx marks a parameter list as task code.
+type Ctx struct{}
+
+// Latency is a may-suspend seed.
+func (c *Ctx) Latency(d time.Duration) {}
+
+// Future is the awaitable stub.
+type Future struct{}
+
+// Await is a may-suspend seed.
+func (f *Future) Await(c *Ctx) (any, error) { return nil, nil }
+
+// ExternalHandle mirrors the completion handle.
+type ExternalHandle struct{}
+
+// ExternalOp mirrors the runtime interface whose implementations run on
+// scheduler-side goroutines.
+type ExternalOp interface {
+	Arm(h ExternalHandle)
+	CancelExternal(h ExternalHandle, cause error)
+}

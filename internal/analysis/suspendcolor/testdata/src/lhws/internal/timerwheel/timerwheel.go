@@ -1,0 +1,11 @@
+// Package timerwheel is a fixture stand-in for lhws/internal/timerwheel.
+package timerwheel
+
+import "time"
+
+type Timer struct{}
+
+type Wheel struct{}
+
+// AfterFunc registers f to run on the wheel goroutine.
+func (w *Wheel) AfterFunc(d time.Duration, f func(any), arg any) *Timer { return nil }

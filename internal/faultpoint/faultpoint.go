@@ -129,10 +129,15 @@ type Rule struct {
 // fault. It is safe for concurrent use by workers, timer goroutines,
 // and tasks. The zero value is invalid; construct with New.
 type Injector struct {
-	mu     sync.Mutex
-	rnd    *rng.RNG
-	rules  [numPoints]Rule
-	thresh [numPoints]uint64 // Rate as a uint64 cutoff; 0 = disabled
+	mu    sync.Mutex
+	rnd   *rng.RNG
+	rules [numPoints]Rule
+	// thresh holds each point's Rate as a uint64 cutoff (0 = disabled).
+	// It is atomic so Decide's disarmed fast path — the steady state on
+	// worker hot paths like the steal loop — never touches mu: a plain
+	// field here would serialize every worker through one global mutex
+	// per steal attempt (found by the noblock may-block summary).
+	thresh [numPoints]atomic.Uint64
 	evals  [numPoints]atomic.Int64
 	fires  [numPoints]atomic.Int64
 }
@@ -153,23 +158,28 @@ func (in *Injector) Set(p Point, r Rule) *Injector {
 	in.rules[p] = r
 	switch {
 	case r.Rate <= 0 || r.Action == None:
-		in.thresh[p] = 0
+		in.thresh[p].Store(0)
 	case r.Rate >= 1:
-		in.thresh[p] = math.MaxUint64
+		in.thresh[p].Store(math.MaxUint64)
 	default:
-		in.thresh[p] = uint64(r.Rate * float64(math.MaxUint64))
+		in.thresh[p].Store(uint64(r.Rate * float64(math.MaxUint64)))
 	}
 	in.mu.Unlock()
 	return in
 }
 
 // Decide evaluates point p once: it returns the armed action (and its
-// delay) if the seeded coin fires, else None. Decide never blocks
-// beyond a leaf mutex protecting the RNG stream.
+// delay) if the seeded coin fires, else None. A disarmed point — the
+// steady state on worker hot paths — is a single atomic load; only an
+// armed point takes the leaf mutex serializing the replayable RNG
+// stream.
 func (in *Injector) Decide(p Point) (Action, time.Duration) {
 	in.evals[p].Add(1)
-	in.mu.Lock()
-	th := in.thresh[p]
+	if in.thresh[p].Load() == 0 {
+		return None, 0
+	}
+	in.mu.Lock() //lhws:allowblock bounded leaf critical section around the RNG draw on armed (chaos-run) points only; no suspension or I/O inside
+	th := in.thresh[p].Load()
 	if th == 0 {
 		in.mu.Unlock()
 		return None, 0

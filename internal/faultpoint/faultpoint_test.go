@@ -111,3 +111,28 @@ func TestSummaryAndStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestDecideDisarmedIsLockFree is the regression test for the steal-path
+// serialization the noblock may-block summary flagged: Decide on a
+// disarmed point must be a pure atomic read, never touching in.mu. With
+// the mutex deliberately held, a lock-taking fast path would deadlock
+// here instead of returning.
+func TestDecideDisarmedIsLockFree(t *testing.T) {
+	in := New(7).Set(Suspend, Rule{Action: Fail, Rate: 1}) // arm a *different* point
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			if act, _ := in.Decide(Steal); act != None {
+				t.Errorf("disarmed point fired %v", act)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Decide on a disarmed point blocked on the injector mutex")
+	}
+}

@@ -291,6 +291,8 @@ func (d *dispatcher) peakBridges() int {
 
 // bridge is one pool goroutine: pop an op, attempt it, repeat. Exits
 // when the dispatcher is closed and the queue is empty.
+//
+//lhws:nosuspend
 func (d *dispatcher) bridge() {
 	defer d.wg.Done()
 	d.mu.Lock()
@@ -321,6 +323,8 @@ func (d *dispatcher) bridge() {
 // window) and delivers the payload. It first drops the op's
 // Close-visibility registration on its Conn/Listener — pooled ops are
 // about to be recycled and must not be unparked by a stale Close.
+//
+//lhws:nosuspend
 func (op *ioOp) completeLocked(n int, err error) {
 	switch op.kind {
 	case opRead, opWrite:
@@ -472,6 +476,8 @@ func (op *ioOp) runDial(d *dispatcher) {
 // deliverResult hands an accepted/dialed connection toward the awaiting
 // task, or closes it if a cancellation abandoned the op first — exactly
 // one side observes every connection, so none leaks.
+//
+//lhws:nosuspend
 func (op *ioOp) deliverResult(nc net.Conn) {
 	op.resMu.Lock()
 	if op.abandoned {

@@ -189,6 +189,8 @@ func (n *epollNotifier) arm(fd int32, e *fdEntry) error {
 
 // poll is the single readiness goroutine: wait, translate fds back to
 // ops, unpark, re-enqueue.
+//
+//lhws:nosuspend
 func (n *epollNotifier) poll() {
 	defer n.wg.Done()
 	events := make([]syscall.EpollEvent, 64)

@@ -70,6 +70,8 @@ type ExternalHandle struct {
 // latency-hiding mode the wakeup routes through the PollComplete fault
 // point, so chaos runs can delay, duplicate, or drop poller completions
 // like any other resume.
+//
+//lhws:nosuspend
 func (h ExternalHandle) Complete(n int, err error) {
 	if h.bk != nil {
 		h.bk.complete(n, err)
@@ -146,6 +148,7 @@ type extBlock struct {
 	done      chan struct{}
 }
 
+//lhws:nosuspend
 func (bk *extBlock) complete(n int, err error) {
 	bk.mu.Lock()
 	if !bk.completed {

@@ -38,6 +38,8 @@ func newFuture() *Future {
 // overflow backing array can be truncated and reused by a pooled future's
 // next life; that is safe because deliver/wake take only leaf locks
 // (injector, suspension registry, deque, worker) and never a Future's.
+//
+//lhws:nosuspend
 func (f *Future) complete(err error) {
 	f.mu.Lock()
 	if f.done {
@@ -63,6 +65,8 @@ func (f *Future) complete(err error) {
 // waiter (if the completion has not already consumed it) and wakes the
 // task with err so it unwinds instead of waiting on a completion that may
 // never come.
+//
+//lhws:nosuspend
 func (f *Future) cancelWait(wt *waiter, err error) {
 	f.mu.Lock()
 	removed := false

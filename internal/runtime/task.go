@@ -212,6 +212,8 @@ func (c *Ctx) Latency(d time.Duration) {
 // the same drainResumed batch. A package-level function (with the waiter
 // as the argument) keeps the arm allocation-free apart from the timer
 // entry itself.
+//
+//lhws:nosuspend
 func latencyFired(arg any) {
 	wt := arg.(*waiter)
 	wt.t.rt.pendingWakes.Add(-1)
@@ -222,6 +224,8 @@ func latencyFired(arg any) {
 // scope so a cancel aborts the wait. It owns the scope reference taken in
 // beginWait: if the scope is already canceled the abort path (which
 // consumes the reference) runs inline.
+//
+//lhws:nosuspend
 func (c *Ctx) armScope(wt *waiter) {
 	if err := c.scope.addWait(wt, wt); err != nil {
 		wt.abortWait(err)

@@ -68,6 +68,8 @@ type wakeSource interface {
 // (released at the end of finishWait) and the cancellation scope's
 // (consumed by abortWait, or released by finishWait when the wait
 // deregisters cleanly). Event sources add their own before publishing.
+//
+//lhws:nosuspend
 func (t *task) beginWait(site string, kind WaitKind, home *rdeque, src wakeSource) *waiter {
 	t.home = home
 	e := t.epoch.Add(1)
@@ -88,6 +90,8 @@ func (t *task) beginWait(site string, kind WaitKind, home *rdeque, src wakeSourc
 
 // release drops one reference; the party dropping the last one returns
 // the waiter to the pool.
+//
+//lhws:nosuspend
 func (wt *waiter) release() {
 	rt := wt.t.rt
 	if wt.refs.Add(-1) == 0 {
@@ -106,6 +110,8 @@ func (wt *waiter) release() {
 // will unwind with that error instead of continuing its operation.
 // Returns false if another wakeup already claimed this suspension. The
 // caller must hold a reference; wake itself does not release one.
+//
+//lhws:nosuspend
 func (wt *waiter) wake(abortErr error) bool {
 	t := wt.t
 	if !t.epoch.CompareAndSwap(wt.epoch, wt.epoch+1) {
@@ -135,6 +141,8 @@ func (wt *waiter) wake(abortErr error) bool {
 // reference, so it must be called exactly once — by the canceling scope,
 // or inline by armScope when registration finds the scope already
 // canceled. waiter's abortWait implements the scope's aborter interface.
+//
+//lhws:nosuspend
 func (wt *waiter) abortWait(err error) {
 	if wt.timer != nil && wt.timer.Stop() {
 		wt.t.rt.pendingWakes.Add(-1)
@@ -160,6 +168,8 @@ func (wt *waiter) abortWait(err error) {
 // even under 100% fault rates. deliver consumes the caller's event
 // reference (transferring it into the delayed closure when the injector
 // defers the wake).
+//
+//lhws:nosuspend
 func (wt *waiter) deliver(p faultpoint.Point) {
 	rt := wt.t.rt
 	inj := rt.cfg.Faults
@@ -191,6 +201,8 @@ func (wt *waiter) deliver(p faultpoint.Point) {
 // deliverDelayed is the wheel callback for fault-delayed (and
 // fault-duplicated) wakeups; the waiter reference was transferred into
 // the timer when it was armed.
+//
+//lhws:nosuspend
 func deliverDelayed(arg any) {
 	wt := arg.(*waiter)
 	wt.t.rt.pendingWakes.Add(-1)
