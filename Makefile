@@ -3,7 +3,7 @@ GO ?= go
 # Core packages whose hot paths the race/vet gates guard.
 CORE := ./internal/deque/... ./internal/runtime/... ./internal/sched/...
 
-.PHONY: all build test race race-core vet lhws-vet lint chaos bench-runtime bench-io bench-smoke ci figures clean
+.PHONY: all build test race race-core vet lhws-vet lint chaos bench-runtime bench-io bench-goodput bench-goodput-smoke bench-smoke ci figures clean
 
 all: build
 
@@ -65,6 +65,20 @@ bench-runtime:
 bench-io:
 	$(GO) run ./cmd/lhws-bench -exp io
 
+# bench-goodput regenerates the overload-robustness record
+# (BENCH_goodput.json): at 4x offered load the shedding server's
+# admitted goodput must stay >= 70% of its 1x value while the
+# no-shedding baseline collapses below that line (see EXPERIMENTS.md
+# "Goodput under overload").
+bench-goodput:
+	$(GO) run ./cmd/lhws-bench -exp goodput
+
+# bench-goodput-smoke is the CI form: a tiny load (2 workers, 400ms
+# rows, 1x/4x only) gated only on "shedding does not collapse"; no JSON
+# is written, so the checked-in record stays a quiet-machine artifact.
+bench-goodput-smoke:
+	$(GO) run ./cmd/lhws-bench -exp goodput -goodsmoke
+
 # bench-smoke is the CI form: every benchmark compiles and runs once, and
 # the AllocsPerRun gates assert the pooled hot paths stay allocation-free
 # at steady state. No timing thresholds — CI boxes are too noisy for ns/op
@@ -74,7 +88,7 @@ bench-smoke:
 	$(GO) test -run 'TestAllocs' -count=1 ./internal/runtime/
 
 # ci mirrors .github/workflows/ci.yml.
-ci: build lint vet test race chaos bench-smoke
+ci: build lint vet test race chaos bench-smoke bench-goodput-smoke
 
 figures:
 	$(GO) run ./cmd/lhws-bench -exp fig11 -svg figures

@@ -39,7 +39,7 @@ type tabler interface {
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig11, greedy, bound, lemmas, steals, variants, potential, uwidth, wallclock, responsiveness, multiprog, scale, runtime, io, all")
+		exp       = flag.String("exp", "all", "experiment: fig11, greedy, bound, lemmas, steals, variants, potential, uwidth, wallclock, responsiveness, multiprog, scale, runtime, io, goodput, all")
 		deltaMS   = flag.Float64("delta", 0, "fig11 panel latency in ms (500, 50, 1); 0 runs all three panels")
 		full      = flag.Bool("full", false, "fig11 at the paper's full scale (n=5000) instead of the laptop scale (n=500)")
 		seed      = flag.Uint64("seed", 1, "random seed")
@@ -47,6 +47,8 @@ func main() {
 		svgDir    = flag.String("svg", "", "directory to write Figure-11 panels as SVG plots (fig11 only)")
 		jsonOut   = flag.String("out", "BENCH_runtime.json", "output path for the -exp runtime JSON sweep")
 		jsonOutIO = flag.String("ioout", "BENCH_io.json", "output path for the -exp io JSON comparison")
+		goodOut   = flag.String("goodout", "BENCH_goodput.json", "output path for the -exp goodput JSON sweep")
+		goodSmoke = flag.Bool("goodsmoke", false, "goodput at CI smoke scale (tiny load, no-collapse gate only, no JSON)")
 	)
 	flag.Parse()
 
@@ -168,9 +170,42 @@ func main() {
 		})
 	}
 
+	if want("goodput") {
+		cfg := experiments.ScaledGoodput()
+		label := "goodput under overload (shed vs noshed, 0.5x-4x)"
+		if *goodSmoke {
+			cfg = experiments.SmokeGoodput()
+			label = "goodput under overload (smoke)"
+		}
+		run(label, func() (tabler, error) {
+			r, err := experiments.GoodputBench(cfg)
+			if err == nil && !*goodSmoke {
+				if werr := writeGoodputJSON(*goodOut, r); werr != nil {
+					fmt.Fprintf(os.Stderr, "json: %v\n", werr)
+					ok = false
+				}
+			}
+			return r, err
+		})
+	}
+
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// writeGoodputJSON writes the overload sweep as the BENCH_goodput.json
+// robustness record.
+func writeGoodputJSON(path string, r *experiments.GoodputResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // writeIOJSON writes the echo comparison as the BENCH_io.json record.

@@ -6,20 +6,28 @@
 // paper's minimal-U example — yet the handlers run in parallel with the
 // waiting.
 //
-// On top of the Figure 10 shape, each request runs under a per-request
-// deadline (Ctx.WithDeadline): handlers whose simulated backend is slow
-// are canceled mid-flight and surface lhws.ErrDeadline from AwaitErr as
-// a structured per-request outcome, answered over the socket as a typed
-// timeout reply, while fast requests complete normally — the server
-// answers every request, on time or with a timeout, instead of letting
-// one slow backend stall the batch.
+// On top of the Figure 10 shape, the server runs the full overload
+// stack (DESIGN.md §11). Each request runs under a per-request deadline
+// (Ctx.WithDeadline), which also stamps the subtree with a latency
+// target: handlers whose simulated backend is slow are canceled
+// mid-flight — by the deadline timer (lhws.ErrDeadline) or, with
+// ShedBlownTargets, by a thief refusing to pull workers into a subtree
+// whose target has already passed (lhws.ErrTargetMissed) — and answer
+// with a typed timeout/shed reply while fast requests complete
+// normally. An admission controller fronts the handlers: past its
+// saturation threshold requests are rejected fast with a typed reply
+// instead of queueing into a blown deadline, and in latency-hiding mode
+// the same controller gates the accept loop, parking the acceptor (a
+// task, not a worker) so excess connections wait in the kernel backlog.
+// A graceful drain closes intake at the end and accounts for every
+// admitted request.
 //
 // The clients are plain goroutines dialing over loopback: the external
 // world, deliberately outside the task runtime, so that the comparison
 // below measures only how the server schedules its own waiting.
 //
 //	go run ./examples/server [-requests 20] [-arrival 4ms] [-workers 1]
-//	    [-deadline 25ms] [-slowevery 5]
+//	    [-deadline 25ms] [-slowevery 5] [-inflight 8] [-rejectat 16]
 package main
 
 import (
@@ -38,12 +46,14 @@ import (
 )
 
 // Wire protocol: a request is a 4-byte big-endian id; a reply is one
-// status byte (statusOK or statusTimeout) followed by an 8-byte value.
+// status byte followed by an 8-byte value (zero unless statusOK).
 const (
-	reqBytes      = 4
-	replyBytes    = 1 + 8
-	statusOK      = 0
-	statusTimeout = 1
+	reqBytes       = 4
+	replyBytes     = 1 + 8
+	statusOK       = 0
+	statusTimeout  = 1
+	statusRejected = 2
+	statusShed     = 3
 )
 
 // compute is f(x): per-request computation, sized comparable to the
@@ -76,16 +86,20 @@ type tally struct {
 	sum      atomic.Int64
 	ok       atomic.Int64
 	timedOut atomic.Int64
+	rejected atomic.Int64
+	shed     atomic.Int64
 }
 
-// serveConn answers the single request carried by cn: read x, run its
-// handler under what remains of the per-request deadline, reply with the
-// result or a typed timeout. The deadline clock started at Accept, so
-// time a queued handler spends waiting for a worker counts against it —
-// that is exactly the cost the blocking mode pays. The reply is written
-// from the handler's own ctx, not the deadline scope, so a timed-out
-// request still gets its answer.
-func serveConn(h *lhws.Ctx, cn *lhws.IOConn, arrived time.Time, slowEvery int, deadline time.Duration, tl *tally) {
+// serveConn answers the single request carried by cn: read x, take the
+// admission decision, run the handler under what remains of the
+// per-request deadline, and reply typed — result, timeout, shed, or
+// rejected. The deadline clock started at Accept, so time a queued
+// handler spends waiting for a worker counts against it — that is
+// exactly the cost the blocking mode pays. The reply is written from
+// the handler's own ctx, not the deadline scope, so a canceled request
+// still gets its answer.
+func serveConn(h *lhws.Ctx, cn *lhws.IOConn, ctl *lhws.AdmitController,
+	arrived time.Time, slowEvery int, deadline time.Duration, tl *tally) {
 	defer cn.Close()
 	var req [reqBytes]byte
 	for off := 0; off < len(req); {
@@ -98,14 +112,27 @@ func serveConn(h *lhws.Ctx, cn *lhws.IOConn, arrived time.Time, slowEvery int, d
 	x := int(binary.BigEndian.Uint32(req[:]))
 	slow := slowEvery > 0 && x%slowEvery == slowEvery-1
 
+	var reply [replyBytes]byte
+	tk, aerr := ctl.Admit(h)
+	if aerr != nil {
+		// Reject fast: one byte of work instead of a blown deadline.
+		reply[0] = statusRejected
+		tl.rejected.Add(1)
+		if _, werr := cn.Write(h, reply[:]); werr != nil {
+			log.Fatalf("write reject %d: %v", x, werr)
+		}
+		return
+	}
+	defer tk.Done()
+
 	hc, cancel := h.WithDeadline(deadline - time.Since(arrived))
+	defer cancel()
+	tk.Bind(cancel) // a drain may shed this request through its scope
 	res := lhws.SpawnValue(hc, func(cc *lhws.Ctx) int64 {
 		return handle(cc, x, slow)
 	})
 	v, err := res.AwaitErr(h) // join via the handler's own ctx, not hc
-	cancel()
 
-	var reply [replyBytes]byte
 	switch {
 	case err == nil:
 		reply[0] = statusOK
@@ -115,6 +142,11 @@ func serveConn(h *lhws.Ctx, cn *lhws.IOConn, arrived time.Time, slowEvery int, d
 	case errors.Is(err, lhws.ErrDeadline):
 		reply[0] = statusTimeout
 		tl.timedOut.Add(1)
+	case errors.Is(err, lhws.ErrTargetMissed), errors.Is(err, lhws.ErrCanceled):
+		// Shed: a thief refused the blown-target subtree, or a drain
+		// canceled the bound scope.
+		reply[0] = statusShed
+		tl.shed.Add(1)
 	default:
 		log.Fatalf("request %d: unexpected error: %v", x, err)
 	}
@@ -127,8 +159,10 @@ func serveConn(h *lhws.Ctx, cn *lhws.IOConn, arrived time.Time, slowEvery int, d
 // connection (the latency-incurring getInput); fork its handler (the
 // spawned thread) while the accept spine itself is the continuation —
 // the dag of Figure 9, where the Accept spine carries on and each f(x)
-// hangs off it. After the last arrival the spine joins every handler.
-func serve(c *lhws.Ctx, l *lhws.IOListener, total, slowEvery int, deadline time.Duration, tl *tally) {
+// hangs off it. After the last arrival the spine joins every handler
+// and drains the admission controller.
+func serve(c *lhws.Ctx, l *lhws.IOListener, ctl *lhws.AdmitController,
+	total, slowEvery int, deadline time.Duration, tl *tally) *lhws.DrainReport {
 	var futs []*lhws.Future
 	for i := 0; i < total; i++ {
 		cn, err := l.Accept(c)
@@ -137,12 +171,13 @@ func serve(c *lhws.Ctx, l *lhws.IOListener, total, slowEvery int, deadline time.
 		}
 		arrived := time.Now()
 		futs = append(futs, c.Spawn(func(h *lhws.Ctx) {
-			serveConn(h, cn, arrived, slowEvery, deadline, tl)
+			serveConn(h, cn, ctl, arrived, slowEvery, deadline, tl)
 		}))
 	}
 	for _, f := range futs {
 		f.Await(c)
 	}
+	return ctl.Drain(c, deadline)
 }
 
 // client is one plain-goroutine user: dial, send one request, read the
@@ -175,8 +210,10 @@ func main() {
 		requests  = flag.Int("requests", 20, "requests before shutdown")
 		arrival   = flag.Duration("arrival", 4*time.Millisecond, "spacing between client arrivals")
 		workers   = flag.Int("workers", 1, "worker goroutines")
-		deadline  = flag.Duration("deadline", 25*time.Millisecond, "per-request deadline")
+		deadline  = flag.Duration("deadline", 25*time.Millisecond, "per-request deadline (and latency target)")
 		slowEvery = flag.Int("slowevery", 5, "every Nth request hits a slow backend (0 = never)")
+		inflight  = flag.Int("inflight", 8, "admission credit pool (0 = uncapped)")
+		rejectAt  = flag.Float64("rejectat", 16, "saturation at which admission rejects fast (0 = never)")
 	)
 	flag.Parse()
 	if goruntime.GOMAXPROCS(0) < *workers {
@@ -188,12 +225,12 @@ func main() {
 		slowCount = *requests / *slowEvery
 	}
 	fmt.Printf("server: %d TCP requests arriving every %v, %d worker(s)\n", *requests, *arrival, *workers)
-	fmt.Printf("per-request deadline %v; %d request(s) hit a slow backend and should time out\n\n",
+	fmt.Printf("per-request deadline %v; %d request(s) hit a slow backend and should not complete on time\n\n",
 		*deadline, slowCount)
 
 	for _, mode := range []lhws.RuntimeMode{lhws.Blocking, lhws.LatencyHiding} {
 		var tl tally
-		var clientTimeouts atomic.Int64
+		var clientDegraded atomic.Int64
 
 		addrCh := make(chan string, 1)
 		var wg sync.WaitGroup
@@ -210,8 +247,8 @@ func main() {
 					if err != nil {
 						log.Fatalf("client %d: %v", id, err)
 					}
-					if status == statusTimeout {
-						clientTimeouts.Add(1)
+					if status != statusOK {
+						clientDegraded.Add(1)
 					}
 				}(i)
 				time.Sleep(*arrival)
@@ -219,14 +256,26 @@ func main() {
 			cwg.Wait()
 		}()
 
-		st, err := lhws.RunTasks(lhws.RuntimeConfig{Workers: *workers, Mode: mode}, func(c *lhws.Ctx) {
+		var drain *lhws.DrainReport
+		cfg := lhws.RuntimeConfig{Workers: *workers, Mode: mode, ShedBlownTargets: true}
+		st, err := lhws.RunTasks(cfg, func(c *lhws.Ctx) {
 			l, lerr := lhws.IOListen(c, "tcp", "127.0.0.1:0")
 			if lerr != nil {
 				log.Fatalf("listen: %v", lerr)
 			}
 			defer l.Close()
+			ctl := lhws.NewAdmitController(lhws.AdmitConfig{
+				MaxInflight: *inflight,
+				RejectAt:    *rejectAt,
+			})
+			if mode == lhws.LatencyHiding {
+				// Accept-gate backpressure parks the accepting *task*;
+				// in blocking mode that would park the worker itself,
+				// so the gate stays latency-hiding-only.
+				l.SetGate(ctl)
+			}
 			addrCh <- l.Addr().String()
-			serve(c, l, *requests, *slowEvery, *deadline, &tl)
+			drain = serve(c, l, ctl, *requests, *slowEvery, *deadline, &tl)
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -234,15 +283,22 @@ func main() {
 		wg.Wait()
 
 		ok, timedOut := tl.ok.Load(), tl.timedOut.Load()
-		fmt.Printf("%-15s wall %-12v ok %-3d timeout %-3d sum %-10d suspensions %-4d max deques/worker %d\n",
-			mode.String()+":", st.Wall.Round(time.Millisecond), ok, timedOut, tl.sum.Load(),
-			st.Suspensions, st.MaxDequesPerWorker)
-		if ok+timedOut != int64(*requests) {
-			log.Fatalf("lost requests: %d ok + %d timeout != %d", ok, timedOut, *requests)
+		rejected, shed := tl.rejected.Load(), tl.shed.Load()
+		fmt.Printf("%-15s wall %-10v ok %-3d timeout %-3d rejected %-3d shed %-3d late %-3d target-cancels %-3d sum %d\n",
+			mode.String()+":", st.Wall.Round(time.Millisecond), ok, timedOut, rejected, shed,
+			st.TasksLate, st.TargetCancels, tl.sum.Load())
+		fmt.Printf("%-15s drain: completed %d, canceled %d, remaining %d in %v\n",
+			"", drain.Completed, drain.Canceled, drain.Remaining, drain.Waited.Round(time.Millisecond))
+		if ok+timedOut+rejected+shed != int64(*requests) {
+			log.Fatalf("lost requests: %d ok + %d timeout + %d rejected + %d shed != %d",
+				ok, timedOut, rejected, shed, *requests)
 		}
-		if clientTimeouts.Load() != timedOut {
-			log.Fatalf("client-side timeouts %d disagree with server-side %d",
-				clientTimeouts.Load(), timedOut)
+		if clientDegraded.Load() != timedOut+rejected+shed {
+			log.Fatalf("client-side degraded replies %d disagree with server-side %d",
+				clientDegraded.Load(), timedOut+rejected+shed)
+		}
+		if drain.Remaining != 0 {
+			log.Fatalf("drain left %d requests in flight", drain.Remaining)
 		}
 	}
 	fmt.Println("\nThe blocking server holds its worker inside every pending Accept,")
@@ -250,6 +306,8 @@ func main() {
 	fmt.Println("paying arrival latency plus compute in sequence. The latency-hiding")
 	fmt.Println("server suspends the task instead and computes handlers during the")
 	fmt.Println("waits (at most two deques per worker with U = 1, Lemma 7). Either")
-	fmt.Println("way the deadline clock starts at Accept and a slow backend surfaces")
-	fmt.Println("as a typed timeout reply on the wire instead of stalling the batch.")
+	fmt.Println("way every request ends typed — on time, timed out, shed, or rejected")
+	fmt.Println("fast at admission — and the drain accounts for all admitted work;")
+	fmt.Println("the deadline clock starts at Accept, so a slow backend surfaces as")
+	fmt.Println("a wire reply instead of stalling the batch.")
 }

@@ -1,0 +1,220 @@
+package admit
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lhws/internal/runtime"
+)
+
+func run(t *testing.T, workers int, f func(*runtime.Ctx)) *runtime.Stats {
+	t.Helper()
+	st, err := runtime.Run(runtime.Config{Workers: workers, Deadline: 30 * time.Second}, f)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return st
+}
+
+// TestInflightCap checks the credit pool: at MaxInflight, Admit rejects
+// with ErrOverload, and Done frees a credit.
+func TestInflightCap(t *testing.T) {
+	run(t, 1, func(c *runtime.Ctx) {
+		a := New(Config{MaxInflight: 2})
+		t1, err := a.Admit(c)
+		if err != nil {
+			t.Fatalf("first Admit: %v", err)
+		}
+		if _, err := a.Admit(c); err != nil {
+			t.Fatalf("second Admit: %v", err)
+		}
+		if _, err := a.Admit(c); !errors.Is(err, ErrOverload) {
+			t.Fatalf("third Admit error = %v, want ErrOverload", err)
+		}
+		t1.Done()
+		t1.Done() // idempotent
+		if a.Inflight() != 1 {
+			t.Fatalf("Inflight = %d after one Done, want 1", a.Inflight())
+		}
+		if _, err := a.Admit(c); err != nil {
+			t.Fatalf("Admit after Done: %v", err)
+		}
+	})
+}
+
+// TestSaturationPolicies pins the saturation thresholds using the
+// cooperative scheduler: with one worker, tasks spawned by the running
+// task sit queued until it yields, so the load sample is deterministic.
+func TestSaturationPolicies(t *testing.T) {
+	run(t, 1, func(c *runtime.Ctx) {
+		futs := make([]*runtime.Future, 0, 8)
+		for i := 0; i < 8; i++ {
+			futs = append(futs, c.Spawn(func(*runtime.Ctx) {}))
+		}
+		// Saturation is now 8 ready tasks / 1 worker = 8 (+ running).
+		deg := New(Config{DegradeAt: 4, RejectAt: 100})
+		tk, err := deg.Admit(c)
+		if err != nil {
+			t.Fatalf("Admit under degrade config: %v", err)
+		}
+		if !tk.Degraded() {
+			t.Errorf("policy = %v, want Degraded at saturation ~8", tk.Policy())
+		}
+		if got := tk.Parallelism(16); got != 1 {
+			t.Errorf("degraded Parallelism(16) = %d, want 1", got)
+		}
+		tk.Done()
+
+		rej := New(Config{DegradeAt: 2, RejectAt: 4})
+		if _, err := rej.Admit(c); !errors.Is(err, ErrOverload) {
+			t.Errorf("Admit error = %v, want ErrOverload at saturation ~8", err)
+		}
+
+		ok := New(Config{DegradeAt: 100, RejectAt: 200})
+		tk2, err := ok.Admit(c)
+		if err != nil {
+			t.Fatalf("Admit under loose config: %v", err)
+		}
+		if tk2.Policy() != Admitted {
+			t.Errorf("policy = %v, want Admitted", tk2.Policy())
+		}
+		if got := tk2.Parallelism(16); got != 16 {
+			t.Errorf("admitted Parallelism(16) = %d, want 16", got)
+		}
+		tk2.Done()
+		for _, f := range futs {
+			f.Await(c)
+		}
+	})
+}
+
+// TestAcquireAcceptBackpressure checks that an exhausted credit pool
+// suspends the acceptor and a Done wakes it FIFO.
+func TestAcquireAcceptBackpressure(t *testing.T) {
+	run(t, 2, func(c *runtime.Ctx) {
+		a := New(Config{MaxInflight: 1})
+		tk, err := a.Admit(c)
+		if err != nil {
+			t.Fatalf("Admit: %v", err)
+		}
+		var acquired atomic.Bool
+		acceptor := c.Spawn(func(cc *runtime.Ctx) {
+			if err := a.AcquireAccept(cc); err != nil {
+				t.Errorf("AcquireAccept: %v", err)
+			}
+			acquired.Store(true)
+		})
+		c.Latency(20 * time.Millisecond)
+		if acquired.Load() {
+			t.Fatal("AcquireAccept returned while the pool was exhausted")
+		}
+		tk.Done()
+		acceptor.Await(c)
+		if !acquired.Load() {
+			t.Fatal("AcquireAccept never woke after Done")
+		}
+	})
+}
+
+// TestDrainRejectsAndWakes checks that draining fails new intake and
+// wakes suspended acceptors with ErrDraining.
+func TestDrainRejectsAndWakes(t *testing.T) {
+	run(t, 2, func(c *runtime.Ctx) {
+		a := New(Config{MaxInflight: 1})
+		tk, err := a.Admit(c)
+		if err != nil {
+			t.Fatalf("Admit: %v", err)
+		}
+		var gateErr error
+		acceptor := c.Spawn(func(cc *runtime.Ctx) {
+			gateErr = a.AcquireAccept(cc)
+		})
+		c.Latency(10 * time.Millisecond) // let the acceptor suspend
+		done := c.Spawn(func(cc *runtime.Ctx) {
+			tk.Done() // completes "in flight" work during the drain
+		})
+		rep := a.Drain(c, time.Second)
+		acceptor.Await(c)
+		done.Await(c)
+		if !errors.Is(gateErr, ErrDraining) {
+			t.Errorf("gate error = %v, want ErrDraining", gateErr)
+		}
+		if _, err := a.Admit(c); !errors.Is(err, ErrDraining) {
+			t.Errorf("Admit error = %v, want ErrDraining", err)
+		}
+		if rep.Remaining != 0 {
+			t.Errorf("Remaining = %d, want 0", rep.Remaining)
+		}
+		if rep.Canceled != 0 {
+			t.Errorf("Canceled = %d, want 0 (request finished in grace)", rep.Canceled)
+		}
+	})
+}
+
+// TestDrainCancelsStragglers checks the straggler path: a request that
+// outlives the grace period is canceled through its bound scope cancel
+// and unwinds with the scope's typed error.
+func TestDrainCancelsStragglers(t *testing.T) {
+	run(t, 2, func(c *runtime.Ctx) {
+		a := New(Config{MaxInflight: 4})
+		tk, err := a.Admit(c)
+		if err != nil {
+			t.Fatalf("Admit: %v", err)
+		}
+		rc, cancel := c.WithCancel()
+		tk.Bind(cancel)
+		req := rc.Spawn(func(cc *runtime.Ctx) {
+			defer tk.Done()
+			cc.Latency(time.Hour) // straggler: never finishes on its own
+		})
+		c.Latency(5 * time.Millisecond) // let the straggler suspend
+		rep := a.Drain(c, 30*time.Millisecond)
+		if rep.Canceled != 1 {
+			t.Errorf("Canceled = %d, want 1", rep.Canceled)
+		}
+		if err := req.AwaitErr(c); !errors.Is(err, runtime.ErrCanceled) {
+			t.Errorf("straggler error = %v, want ErrCanceled", err)
+		}
+		if rep.Remaining != 0 {
+			t.Errorf("Remaining = %d, want 0 (Done ran during unwind)", rep.Remaining)
+		}
+		if a.Inflight() != 0 {
+			t.Errorf("Inflight = %d after drain, want 0", a.Inflight())
+		}
+	})
+}
+
+// TestCanceledGateWaiterForwardsCredit checks the handoff race fix: when
+// a credit wake lands on a waiter whose task is being canceled, the
+// credit must pass to the next waiter instead of being lost.
+func TestCanceledGateWaiterForwardsCredit(t *testing.T) {
+	run(t, 2, func(c *runtime.Ctx) {
+		a := New(Config{MaxInflight: 1})
+		tk, err := a.Admit(c)
+		if err != nil {
+			t.Fatalf("Admit: %v", err)
+		}
+		wc, cancelFirst := c.WithCancel()
+		first := wc.Spawn(func(cc *runtime.Ctx) {
+			_ = a.AcquireAccept(cc)
+		})
+		c.Latency(5 * time.Millisecond) // first waiter parked
+		var second atomic.Bool
+		sec := c.Spawn(func(cc *runtime.Ctx) {
+			if err := a.AcquireAccept(cc); err != nil {
+				t.Errorf("second AcquireAccept: %v", err)
+			}
+			second.Store(true)
+		})
+		c.Latency(5 * time.Millisecond) // second waiter parked behind it
+		cancelFirst()
+		tk.Done()
+		sec.Await(c)
+		first.Await(c)
+		if !second.Load() {
+			t.Fatal("second waiter never acquired after first was canceled")
+		}
+	})
+}

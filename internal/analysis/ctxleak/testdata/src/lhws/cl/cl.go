@@ -3,7 +3,11 @@
 // directive escape.
 package cl
 
-import "lhws/internal/runtime"
+import (
+	"time"
+
+	"lhws/internal/runtime"
+)
 
 // leaked is the package-level sink.
 var leaked *runtime.Ctx
@@ -58,4 +62,18 @@ func inTask(c *runtime.Ctx) *runtime.Ctx {
 // vetted acknowledges a deliberate escape.
 func vetted(c *runtime.Ctx) {
 	leaked = c //lhws:ctxok fixture: the harness joins the task before reading
+}
+
+// derived shows scope-derived contexts are the same pooled shell: a
+// WithTarget (or WithDeadline/WithCancel) child escaping its task is
+// exactly as dangerous as the parent escaping, and is flagged at the
+// same sinks. Keeping the derived ctx and its cancel func local is the
+// legitimate shape.
+func derived(c *runtime.Ctx, h *holder) {
+	tc, cancel := c.WithTarget(time.Millisecond)
+	defer cancel()
+	use(tc)     // in-task use of the derived ctx is fine
+	h.ctx = tc  // want `task context escapes its task \(stored in a struct field\)`
+	leaked = tc // want `task context escapes its task \(stored in a package-level variable\)`
+	go use(tc)  // want `task context escapes its task \(passed to a goroutine\)`
 }

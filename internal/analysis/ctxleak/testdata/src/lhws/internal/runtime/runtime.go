@@ -2,5 +2,11 @@
 // ctxleak analyzer recognizes the Ctx type by its (path, name) identity.
 package runtime
 
+import "time"
+
 // Ctx points into a pooled task shell.
 type Ctx struct{}
+
+// WithTarget derives a latency-target scope. The derived *Ctx aliases
+// the same pooled shell, so it is subject to the same extent rules.
+func (c *Ctx) WithTarget(d time.Duration) (*Ctx, func()) { return c, func() {} }

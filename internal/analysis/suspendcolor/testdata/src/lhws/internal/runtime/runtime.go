@@ -11,6 +11,11 @@ type Ctx struct{}
 // Latency is a may-suspend seed.
 func (c *Ctx) Latency(d time.Duration) {}
 
+// WithTarget is deliberately NOT a may-suspend seed: it only stamps the
+// latency target on the subtree and returns; no timer is armed and the
+// task never leaves the worker.
+func (c *Ctx) WithTarget(d time.Duration) (*Ctx, func()) { return c, func() {} }
+
 // Future is the awaitable stub.
 type Future struct{}
 

@@ -66,6 +66,18 @@ func escaped(c *runtime.Ctx) {
 	helper(c) //lhws:allowsuspend fixture: the caller joins before the region returns
 }
 
+// targetScope shows WithTarget is suspension-free: stamping a latency
+// target (and canceling the scope) never leaves the worker, so both are
+// legal inside a no-suspend region — but suspending THROUGH the derived
+// ctx colors the region like any other suspension.
+//
+//lhws:nosuspend
+func targetScope(c *runtime.Ctx) {
+	tc, cancel := c.WithTarget(0) // stamping a target does not suspend
+	cancel()                      // nor does canceling the scope
+	tc.Latency(0)                 // want `call may suspend the task inside a //lhws:nosuspend region: \(\*runtime\.Ctx\)\.Latency`
+}
+
 // extOp implements runtime.ExternalOp; Arm and CancelExternal run on
 // completion/cancellation goroutines.
 type extOp struct{}

@@ -120,14 +120,19 @@ func (op *ioOp) CancelExternal(h runtime.ExternalHandle, cause error) {
 		return
 	}
 	op.canceled = true
-	switch op.kind {
+	// Capture the life's identity under the lock: once mu is released the
+	// kicked attempt can complete and the op be recycled into a new life
+	// whose task-side fields (kind, cn, ln) are being rewritten while the
+	// code below still runs.
+	kind, d := op.kind, op.disp()
+	switch kind {
 	case opRead:
 		op.cn.nc.SetReadDeadline(aLongTimeAgo)
 	case opWrite:
 		op.cn.nc.SetWriteDeadline(aLongTimeAgo)
 	case opAccept:
-		if d, ok := op.ln.nl.(deadliner); ok {
-			d.SetDeadline(aLongTimeAgo)
+		if dl, ok := op.ln.nl.(deadliner); ok {
+			dl.SetDeadline(aLongTimeAgo)
 		}
 	case opDial:
 		if op.ctxCancel != nil {
@@ -135,7 +140,7 @@ func (op *ioOp) CancelExternal(h runtime.ExternalHandle, cause error) {
 		}
 	}
 	op.mu.Unlock()
-	if op.kind == opAccept || op.kind == opDial {
+	if kind == opAccept || kind == opDial {
 		// A result that already landed will never be taken: close it.
 		// If none landed yet, the bridge closes it on arrival.
 		op.resMu.Lock()
@@ -150,7 +155,27 @@ func (op *ioOp) CancelExternal(h runtime.ExternalHandle, cause error) {
 	if op.parked.CompareAndSwap(true, false) {
 		// The op sits in the readiness notifier, not the queue, and its
 		// fd may never fire; route it back to a bridge to be completed.
-		op.disp().enqueue(op)
+		// (If the CAS stole a recycled life's fresh park claim instead,
+		// the bridge simply retries that life's attempt — wasted work,
+		// never a lost op.)
+		d.enqueue(op)
+	}
+}
+
+// kickRead interrupts a read attempt so it re-checks cn's unread stash:
+// salvaged bytes live in userspace now, so the socket may never signal
+// readiness for them. Same kick/unpark protocol as CancelExternal —
+// including its tolerance for op having been recycled into a new life
+// (the identity check under mu skips the kick; a stolen park claim
+// merely costs that life one extra attempt) — but nothing is canceled.
+func (op *ioOp) kickRead(cn *Conn) {
+	op.mu.Lock()
+	if op.kind == opRead && op.cn == cn && !op.canceled {
+		cn.nc.SetReadDeadline(aLongTimeAgo)
+	}
+	op.mu.Unlock()
+	if op.parked.CompareAndSwap(true, false) {
+		cn.d.enqueue(op)
 	}
 }
 
@@ -214,11 +239,20 @@ func (d *dispatcher) getOp() *ioOp {
 }
 
 func (d *dispatcher) putOp(op *ioOp) {
+	// The reset must hold op.mu: a parking bridge that lost its claim
+	// between epoll registration and its post-registration cancel
+	// re-check (notify_epoll.park) may still read op.canceled after a
+	// readiness-claimed completion recycles the op. The lock orders that
+	// late read against this reset; the reader's stale parked CAS is
+	// harmless either way (pointer-equality-guarded drop, and the claim
+	// protocol enqueues the op exactly once).
+	op.mu.Lock()
 	op.cn = nil
 	op.ln = nil
 	op.buf = nil
 	op.off = 0
 	op.canceled = false
+	op.mu.Unlock()
 	d.ops.Put(op)
 }
 
@@ -229,10 +263,10 @@ func (d *dispatcher) enqueue(op *ioOp) {
 	d.mu.Lock()
 	if d.closed {
 		// Only reachable for ops with no live awaiting task (the runtime
-		// closes the dispatcher after every task has finished); complete
-		// the stale op rather than strand it.
+		// closes the dispatcher after every task has finished); release
+		// the stale op's claim rather than strand it.
 		d.mu.Unlock()
-		op.completeLocked(0, errOpCanceled)
+		op.discardLocked(errOpCanceled)
 		return
 	}
 	if op.kind == opDial {
@@ -319,13 +353,13 @@ func (d *dispatcher) bridge() {
 	}
 }
 
-// completeLocked zeroes the op's handle (ending its cancel-visibility
-// window) and delivers the payload. It first drops the op's
-// Close-visibility registration on its Conn/Listener — pooled ops are
-// about to be recycled and must not be unparked by a stale Close.
+// takeHandle ends the op's completion-side lifetime: it drops the op's
+// Close-visibility registration on its Conn/Listener (pooled ops are
+// about to be recycled and must not be unparked by a stale Close) and
+// zeroes the handle, ending the cancel-visibility window.
 //
 //lhws:nosuspend
-func (op *ioOp) completeLocked(n int, err error) {
+func (op *ioOp) takeHandle() runtime.ExternalHandle {
 	switch op.kind {
 	case opRead, opWrite:
 		if op.cn != nil {
@@ -340,7 +374,27 @@ func (op *ioOp) completeLocked(n int, err error) {
 	h := op.h
 	op.h = runtime.ExternalHandle{}
 	op.mu.Unlock()
-	h.Complete(n, err)
+	return h
+}
+
+// completeLocked delivers the payload to the awaiting task. Returns
+// whether it reached the task; false means a cancellation claimed the
+// suspension first and the result fell away.
+//
+//lhws:nosuspend
+func (op *ioOp) completeLocked(n int, err error) bool {
+	return op.takeHandle().Complete(n, err)
+}
+
+// discardLocked is completeLocked for an attempt that observed its op
+// canceled: the abort that kicked it owns the task's wake, so the
+// completion only releases its claim instead of racing the abort —
+// a race the attempt could win, surfacing a kicked attempt's payload
+// to the task as a successful return (see ExternalHandle.Discard).
+//
+//lhws:nosuspend
+func (op *ioOp) discardLocked(err error) {
+	op.takeHandle().Discard(err)
 }
 
 // run executes one attempt of the op on the calling bridge. Dials never
@@ -391,14 +445,28 @@ func (op *ioOp) retryOrComplete(d *dispatcher, parkFd parkable) bool {
 }
 
 func (op *ioOp) runRead(d *dispatcher) {
-	nc := op.cn.nc
+	cn := op.cn
+	nc := cn.nc
 	if !op.startAttempt(nc.SetReadDeadline) {
-		op.completeLocked(0, errOpCanceled)
+		op.discardLocked(errOpCanceled)
+		d.putOp(op)
+		return
+	}
+	// Bytes salvaged from a canceled predecessor take priority over the
+	// socket: they were already consumed off it, so the fd may never
+	// signal readiness for them again. Checked after startAttempt so a
+	// canceled op cannot drain bytes meant for its successor (and if a
+	// cancel lands between the two, the claim-loss re-stash below puts
+	// them back).
+	if n := cn.takePending(op.buf); n > 0 {
+		if !op.completeLocked(n, nil) {
+			cn.stashUnread(op.buf[:n])
+		}
 		d.putOp(op)
 		return
 	}
 	n, err := nc.Read(op.buf)
-	if n == 0 && isTimeout(err) && op.retryOrComplete(d, op.cn.sc) {
+	if n == 0 && isTimeout(err) && op.retryOrComplete(d, cn.sc) {
 		return
 	}
 	if n > 0 && isTimeout(err) {
@@ -406,14 +474,33 @@ func (op *ioOp) runRead(d *dispatcher) {
 		// not an error for the caller.
 		err = nil
 	}
-	op.completeLocked(n, err)
+	op.mu.Lock()
+	canceled := op.canceled
+	op.mu.Unlock()
+	if canceled {
+		// The attempt was kicked; the abort owns the task's wake. Bytes
+		// consumed in the kick window are already off the socket: stash
+		// them for the conn's next read instead of silently
+		// desynchronizing the stream.
+		if n > 0 {
+			cn.stashUnread(op.buf[:n])
+		}
+		op.discardLocked(err)
+		d.putOp(op)
+		return
+	}
+	if !op.completeLocked(n, err) && n > 0 {
+		// A cancel landed between the check above and the claim: same
+		// salvage as the kicked path.
+		cn.stashUnread(op.buf[:n])
+	}
 	d.putOp(op)
 }
 
 func (op *ioOp) runWrite(d *dispatcher) {
 	nc := op.cn.nc
 	if !op.startAttempt(nc.SetWriteDeadline) {
-		op.completeLocked(op.off, errOpCanceled)
+		op.discardLocked(errOpCanceled)
 		d.putOp(op)
 		return
 	}
@@ -425,6 +512,16 @@ func (op *ioOp) runWrite(d *dispatcher) {
 	if op.off == len(op.buf) && isTimeout(err) {
 		err = nil
 	}
+	op.mu.Lock()
+	canceled := op.canceled
+	op.mu.Unlock()
+	if canceled {
+		// Kicked: the abort owns the wake. Bytes already on the wire stay
+		// there — the unwinding task never reads the progress count.
+		op.discardLocked(err)
+		d.putOp(op)
+		return
+	}
 	op.completeLocked(op.off, err)
 	d.putOp(op)
 }
@@ -435,7 +532,7 @@ func (op *ioOp) runAccept(d *dispatcher) {
 		arm = dl.SetDeadline
 	}
 	if !op.startAttempt(arm) {
-		op.completeLocked(0, errOpCanceled)
+		op.discardLocked(errOpCanceled)
 		return
 	}
 	nc, err := op.ln.nl.Accept()
@@ -445,6 +542,16 @@ func (op *ioOp) runAccept(d *dispatcher) {
 	if nc != nil {
 		op.deliverResult(nc)
 		err = nil
+	}
+	op.mu.Lock()
+	canceled := op.canceled
+	op.mu.Unlock()
+	if canceled {
+		// Kicked: the abort owns the wake; an accepted conn was already
+		// routed through deliverResult's abandoned handoff (closed by
+		// whichever side saw it last), so nothing leaks.
+		op.discardLocked(err)
+		return
 	}
 	op.completeLocked(0, err)
 }
@@ -458,7 +565,7 @@ func (op *ioOp) runDial(d *dispatcher) {
 	if op.canceled {
 		op.mu.Unlock()
 		cancel()
-		op.completeLocked(0, errOpCanceled)
+		op.discardLocked(errOpCanceled)
 		return
 	}
 	op.ctxCancel = cancel
@@ -469,6 +576,13 @@ func (op *ioOp) runDial(d *dispatcher) {
 	if nc != nil {
 		op.deliverResult(nc)
 		err = nil
+	}
+	op.mu.Lock()
+	canceled := op.canceled
+	op.mu.Unlock()
+	if canceled {
+		op.discardLocked(err)
+		return
 	}
 	op.completeLocked(0, err)
 }

@@ -64,6 +64,15 @@ type Conn struct {
 	opMu sync.Mutex
 	rdOp *ioOp
 	wrOp *ioOp
+
+	// pendMu guards pending: bytes a canceled read's in-flight attempt
+	// consumed off the socket after its completion claim was already
+	// lost to the abort. Dropping them would desynchronize the stream —
+	// the conn's next read would wait forever for bytes that can never
+	// arrive again — so the bridge stashes them here and the next read
+	// drains the stash before touching the socket.
+	pendMu  sync.Mutex
+	pending []byte
 }
 
 // setOp / clearOp maintain the Close-visibility registration around an
@@ -87,6 +96,45 @@ func (cn *Conn) clearOp(dir opKind, op *ioOp) {
 		cn.wrOp = nil
 	}
 	cn.opMu.Unlock()
+}
+
+// stashUnread salvages bytes whose completion lost its wake claim to a
+// cancellation (b aliases the unwound caller's buffer, so it is copied).
+// Any successor read already in flight on the conn is then kicked: it
+// may be blocked in a socket read waiting for bytes that now sit here.
+func (cn *Conn) stashUnread(b []byte) {
+	cn.pendMu.Lock()
+	cn.pending = append(cn.pending, b...)
+	cn.pendMu.Unlock()
+	cn.opMu.Lock()
+	op := cn.rdOp
+	cn.opMu.Unlock()
+	if op != nil {
+		op.kickRead(cn)
+	}
+}
+
+// takePending drains stashed unread bytes into p, stream order
+// preserved. Returns 0 when the stash is empty (the common case: one
+// predictable branch on the read path).
+func (cn *Conn) takePending(p []byte) int {
+	cn.pendMu.Lock()
+	n := copy(p, cn.pending)
+	switch {
+	case n == len(cn.pending):
+		cn.pending = nil
+	case n > 0:
+		cn.pending = cn.pending[n:]
+	}
+	cn.pendMu.Unlock()
+	return n
+}
+
+func (cn *Conn) hasPending() bool {
+	cn.pendMu.Lock()
+	ok := len(cn.pending) > 0
+	cn.pendMu.Unlock()
+	return ok
 }
 
 // Wrap adopts an existing net.Conn into the task runtime. The conn must
@@ -115,6 +163,11 @@ func wrapConn(d *dispatcher, nc net.Conn) *Conn {
 // Read reads into p, suspending the task until at least one byte (or
 // EOF, or an error) is available. Semantics match net.Conn.Read.
 func (cn *Conn) Read(c *runtime.Ctx, p []byte) (int, error) {
+	// Bytes salvaged from a canceled predecessor read come first: they
+	// are already off the socket, ahead of anything it can deliver.
+	if n := cn.takePending(p); n > 0 {
+		return n, nil
+	}
 	op := cn.d.getOp()
 	op.kind = opRead
 	op.cn = cn
@@ -160,6 +213,17 @@ func unparkForClose(d *dispatcher, op *ioOp) {
 	}
 }
 
+// Gate is an admission valve a Listener consults before pulling a
+// connection out of the kernel backlog. AcquireAccept returns nil when
+// the server has capacity; it may suspend the accepting task (that is
+// the point: backpressure parks the acceptor, and waiting connections
+// queue in the kernel where they cost no worker); and it fails typed
+// when intake is closed (e.g. the admission controller is draining).
+// lhws/internal/admit's Controller implements it.
+type Gate interface {
+	AcquireAccept(c *runtime.Ctx) error
+}
+
 // Listener accepts connections without blocking workers.
 type Listener struct {
 	d  *dispatcher
@@ -168,6 +232,7 @@ type Listener struct {
 
 	opMu sync.Mutex
 	acOp *ioOp
+	gate Gate
 }
 
 // Listen opens a listening socket (e.g. "tcp", "127.0.0.1:0"). The bind
@@ -186,9 +251,31 @@ func Listen(c *runtime.Ctx, network, addr string) (*Listener, error) {
 	return l, nil
 }
 
+// SetGate installs an admission gate consulted by every subsequent
+// Accept. Install it before the accept loop starts; a nil gate (the
+// default) admits unconditionally.
+func (l *Listener) SetGate(g Gate) {
+	l.opMu.Lock()
+	l.gate = g
+	l.opMu.Unlock()
+}
+
 // Accept suspends the task until a connection arrives and returns it
-// wrapped for task use.
+// wrapped for task use. With a Gate installed (SetGate), Accept first
+// acquires admission — suspending while the server is saturated, so
+// fresh connections wait in the kernel backlog instead of being
+// accepted into a server that would blow their targets — and returns
+// the gate's typed error (e.g. admit.ErrDraining) when intake is
+// closed.
 func (l *Listener) Accept(c *runtime.Ctx) (*Conn, error) {
+	l.opMu.Lock()
+	g := l.gate
+	l.opMu.Unlock()
+	if g != nil {
+		if err := g.AcquireAccept(c); err != nil {
+			return nil, err
+		}
+	}
 	op := &ioOp{kind: opAccept, ln: l}
 	l.opMu.Lock()
 	l.acOp = op

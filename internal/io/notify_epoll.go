@@ -140,16 +140,17 @@ func (n *epollNotifier) park(op *ioOp, rc parkable) bool {
 		// Report true instead: the op has been rerouted either way.
 		return !op.parked.CompareAndSwap(true, false)
 	}
-	// Close the cancel-vs-park window: a cancel that ran after
-	// retryOrComplete's canceled check but before the Store above found
+	// Close the kick-vs-park window: a cancel — or a predecessor's
+	// unread-stash kick (Conn.stashUnread) — that ran after
+	// retryOrComplete's checks but before the Store above found
 	// parked==false, so its unpark CAS missed and the op would sit in the
 	// epoll set waiting on an fd that may never fire. Re-check and unpark
 	// through the same claim protocol (exactly one of this CAS and any
 	// concurrent close's CAS wins, so the op is enqueued once).
 	op.mu.Lock()
-	canceled := op.canceled
+	kicked := op.canceled || (op.kind == opRead && op.cn != nil && op.cn.hasPending())
 	op.mu.Unlock()
-	if canceled && op.parked.CompareAndSwap(true, false) {
+	if kicked && op.parked.CompareAndSwap(true, false) {
 		n.drop(regFd, op)
 		n.d.enqueue(op)
 	}

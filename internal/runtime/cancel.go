@@ -20,6 +20,12 @@ var (
 	// ErrDeadline reports that a deadline installed with
 	// Ctx.WithDeadline or Config.Deadline elapsed.
 	ErrDeadline = errors.New("runtime: deadline exceeded")
+	// ErrTargetMissed reports that an overload-shedding scheduler
+	// (Config.ShedBlownTargets) canceled a subtree whose latency target
+	// (WithTarget / WithDeadline) had already passed before the work could
+	// be stolen — the subtree could no longer meet its target, so its
+	// remaining work was shed instead of occupying workers.
+	ErrTargetMissed = errors.New("runtime: latency target missed")
 )
 
 // cancelPanic is the unwinding vehicle for cooperative cancellation: a
@@ -49,6 +55,15 @@ type cancelScope struct {
 	rt     *runtimeState
 	parent *cancelScope
 
+	// target is the scope's soft latency target as an absolute wall-clock
+	// instant (UnixNano; 0 = none), inherited min-wise down the scope tree
+	// from WithTarget / WithDeadline. It is written only during scope
+	// construction — before the scope is shared — and read without
+	// synchronization afterwards, so the spawn hot path pays one plain
+	// field load. Unlike a deadline, a target cancels nothing by itself:
+	// it informs deque selection, steal gating, and the TasksLate counter.
+	target int64
+
 	// canceled is the lock-free fast path for checkpoints: set to true
 	// only after err is published under mu.
 	canceled atomic.Bool
@@ -58,6 +73,10 @@ type cancelScope struct {
 	children map[*cancelScope]struct{}
 	waits    map[any]aborter
 	timer    *timerwheel.Timer
+	// deadlineWake marks that the scope's deadline timer is counted in
+	// rt.pendingWakes (derived scopes only; see setDeadline). Guarded by mu;
+	// cleared by whichever of cancel / fireDeadline retires the timer.
+	deadlineWake bool
 }
 
 // aborter is a registered wait's cancellation callback. waiter implements
@@ -80,6 +99,9 @@ func newCancelScope(rt *runtimeState, parent *cancelScope) *cancelScope {
 	if parent == nil {
 		return s
 	}
+	// Targets flow down the spawn tree: the parent's target is immutable
+	// once the parent scope is shared, so a plain read is safe here.
+	s.target = parent.target
 	parent.mu.Lock()
 	if err := parent.err; err != nil {
 		parent.mu.Unlock()
@@ -107,18 +129,24 @@ func (s *cancelScope) Err() error {
 
 // cancel marks the scope canceled with cause err, aborts its registered
 // waits, and recursively cancels child scopes. Idempotent: only the
-// first cause sticks.
-func (s *cancelScope) cancel(err error) {
+// first cause sticks; the return value reports whether this call was the
+// one that set it (steal gating counts each shed subtree exactly once).
+func (s *cancelScope) cancel(err error) bool {
 	s.mu.Lock()
 	if s.err != nil {
 		s.mu.Unlock()
-		return
+		return false
 	}
 	s.err = err
 	s.canceled.Store(true)
 	if s.timer != nil {
 		s.timer.Stop()
 		s.timer = nil
+		if s.deadlineWake {
+			// The timer will never fire; reclaim its pending-wake credit.
+			s.deadlineWake = false
+			s.rt.pendingWakes.Add(-1)
+		}
 	}
 	waits := s.waits
 	s.waits = nil
@@ -139,6 +167,7 @@ func (s *cancelScope) cancel(err error) {
 	for _, k := range kids {
 		k.cancel(err)
 	}
+	return true
 }
 
 // setDeadline arms a wheel timer canceling the scope with ErrDeadline.
@@ -150,6 +179,18 @@ func (s *cancelScope) cancel(err error) {
 func (s *cancelScope) setDeadline(d time.Duration) {
 	s.mu.Lock()
 	if s.err == nil && s.timer == nil {
+		// A derived scope's deadline is a guaranteed future wakeup for any
+		// task suspended under it, so it must count as a pending wake —
+		// otherwise the suspension watchdog can declare a stall (and
+		// double-report a *StallError) for a request that was about to be
+		// canceled for deadline reasons. The root deadline (Config.Deadline)
+		// deliberately does NOT count: it is the backstop above the
+		// watchdog, and counting it would blind stall detection for the
+		// whole run.
+		if s.rt != nil && s != s.rt.root {
+			s.deadlineWake = true
+			s.rt.pendingWakes.Add(1)
+		}
 		s.timer = s.rt.wheel.AfterFunc(d, fireDeadline, s)
 	}
 	s.mu.Unlock()
@@ -160,7 +201,23 @@ func (s *cancelScope) setDeadline(d time.Duration) {
 // wheel's leaf mutex in the lock order, so a deadline cascading into
 // timer Stops cannot deadlock.
 func fireDeadline(arg any) {
-	arg.(*cancelScope).cancel(ErrDeadline)
+	s := arg.(*cancelScope)
+	s.mu.Lock()
+	if s.deadlineWake {
+		s.deadlineWake = false
+		s.rt.pendingWakes.Add(-1)
+	}
+	s.mu.Unlock()
+	s.cancel(ErrDeadline)
+}
+
+// setTarget installs tgt (absolute UnixNano) as the scope's latency
+// target, keeping an earlier inherited target if one exists. Must be
+// called during construction, before the scope's Ctx is shared.
+func (s *cancelScope) setTarget(tgt int64) {
+	if s.target == 0 || tgt < s.target {
+		s.target = tgt
+	}
 }
 
 // detach removes the scope from its parent so a finished subtree's
@@ -225,11 +282,36 @@ func (c *Ctx) WithCancel() (*Ctx, func()) {
 // WithDeadline derives a context canceled automatically with
 // ErrDeadline after d. The returned cancel function releases the scope
 // early (with ErrCanceled if it is the first cause); always call it.
+//
+// A deadline is also a latency target (see WithTarget): the subtree's
+// work is preferred by deadline-aware deque selection while it can still
+// finish by the deadline, and shed by steal gating once it cannot.
 func (c *Ctx) WithDeadline(d time.Duration) (*Ctx, func()) {
 	cc, cancel := c.WithCancel()
+	cc.scope.setTarget(time.Now().Add(d).UnixNano())
 	cc.scope.setDeadline(d)
 	return cc, cancel
 }
+
+// WithTarget derives a context whose subtree carries a soft latency
+// target d from now — the request's deadline in the paper's interactive
+// server scenario (§5). Unlike WithDeadline, nothing fires when the
+// target passes: the target steers scheduling. Workers prefer ready
+// deques holding the earliest-target work, thieves prefer victims whose
+// work can still meet its target, and — with Config.ShedBlownTargets —
+// steal attempts landing on a subtree whose target already passed cancel
+// it with ErrTargetMissed instead of stealing from it. Targets inherit
+// min-wise: a child scope never relaxes its parent's target. The
+// returned cancel function releases the scope; always call it.
+func (c *Ctx) WithTarget(d time.Duration) (*Ctx, func()) {
+	cc, cancel := c.WithCancel()
+	cc.scope.setTarget(time.Now().Add(d).UnixNano())
+	return cc, cancel
+}
+
+// Target returns the context's absolute latency target as UnixNano
+// wall-clock time, or 0 if none was installed (WithTarget/WithDeadline).
+func (c *Ctx) Target() int64 { return c.scope.target }
 
 // Cancel cancels the context's own scope with ErrCanceled. On a root
 // context (the one Run passed to the root task) this cancels the whole

@@ -71,18 +71,42 @@ type ExternalHandle struct {
 // point, so chaos runs can delay, duplicate, or drop poller completions
 // like any other resume.
 //
+// The return reports whether the payload was handed to the awaiting
+// task: false means a cancellation claimed the suspension first and the
+// result was discarded. A completer whose result carries state that
+// must not be lost (bytes consumed off a socket, an accepted conn) uses
+// this to salvage it — see internal/io's unread stash.
+//
 //lhws:nosuspend
-func (h ExternalHandle) Complete(n int, err error) {
+func (h ExternalHandle) Complete(n int, err error) bool {
 	if h.bk != nil {
-		h.bk.complete(n, err)
-		return
+		return h.bk.complete(n, err)
 	}
 	wt := h.wt
 	// Publish the payload before the wake: the claiming CAS orders these
 	// writes before the task reads them, and an abort winner never reads
 	// them at all.
 	wt.extN, wt.extErr = n, err
-	wt.deliver(faultpoint.PollComplete)
+	return wt.deliver(faultpoint.PollComplete)
+}
+
+// Discard releases the completer's claim on the await without waking
+// the task. It is the correct completion for an attempt that observed
+// its operation canceled: the abort that interrupted it wakes the task
+// itself (abortWait), so a normal Complete would race that wake for the
+// epoch claim — and, on winning, hand the unwinding task a kicked
+// attempt's payload as if the operation had succeeded. In Blocking mode
+// there is no separate abort wake (the worker parks on the completion
+// rendezvous itself, and the scope's registration decides the unwind),
+// so Discard still completes the rendezvous there.
+//
+//lhws:nosuspend
+func (h ExternalHandle) Discard(err error) {
+	if h.bk != nil {
+		h.bk.complete(0, err)
+		return
+	}
+	h.wt.release()
 }
 
 // ExternalOp is an external operation a task can await. Arm runs
@@ -149,14 +173,19 @@ type extBlock struct {
 }
 
 //lhws:nosuspend
-func (bk *extBlock) complete(n int, err error) {
+func (bk *extBlock) complete(n int, err error) bool {
 	bk.mu.Lock()
-	if !bk.completed {
+	first := !bk.completed
+	if first {
 		bk.completed = true
 		bk.n, bk.err = n, err
 		close(bk.done)
 	}
 	bk.mu.Unlock()
+	// The rendezvous always consumes the first completion (the blocking
+	// awaiter reads it even after an abort kicked the op), so only a
+	// duplicate's payload is discarded.
+	return first
 }
 
 func (c *Ctx) awaitExternalBlocking(op ExternalOp) (int, error) {
@@ -207,12 +236,13 @@ func awaitExternalGeneric[T any](c *Ctx, site string, kind WaitKind, arm func(co
 // extBox adapts the generic arm/complete shape onto ExternalOp, carrying
 // the typed payload alongside the waiter's int/error channel.
 type extBox[T any] struct {
-	arm    func(complete func(T, error)) (cancel func(error))
-	mu     sync.Mutex
-	done   bool
-	v      T
-	err    error
-	cancel func(error)
+	arm      func(complete func(T, error)) (cancel func(error))
+	mu       sync.Mutex
+	done     bool
+	canceled bool
+	v        T
+	err      error
+	cancel   func(error)
 }
 
 func (b *extBox[T]) Arm(h ExternalHandle) {
@@ -223,13 +253,24 @@ func (b *extBox[T]) Arm(h ExternalHandle) {
 			return
 		}
 		b.done = true
+		canceled := b.canceled
 		b.v, b.err = v, err
 		b.mu.Unlock()
+		if canceled {
+			// The abort that canceled this box owns the wake; completing
+			// normally would race it for the claim and could surface the
+			// canceled operation's payload as a successful return.
+			h.Discard(err)
+			return
+		}
 		h.Complete(0, err)
 	})
 }
 
 func (b *extBox[T]) CancelExternal(h ExternalHandle, cause error) {
+	b.mu.Lock()
+	b.canceled = true
+	b.mu.Unlock()
 	if b.cancel != nil {
 		b.cancel(cause)
 	}

@@ -74,6 +74,40 @@ func TestNoGoroutineLeakAfterPanicBlocking(t *testing.T) {
 	waitGoroutines(t, base+3)
 }
 
+// An overload-shed request parked in a channel Recv — the admission
+// controller's drain calls the request's bound scope cancel while the
+// request waits for data that will never come — must unblock with the
+// scope's typed error, and the dead waiter must not linger in the
+// channel's queues: a later send/recv pair on the same channel must
+// still rendezvous (a leaked claim would swallow the send), and no task
+// goroutine may survive the runs. Iterating churns the waiter pool so a
+// missed refcount release would also surface as goroutine growth.
+func TestNoWaiterLeakAfterShedRecv(t *testing.T) {
+	base := goruntime.NumGoroutine()
+	for i := 0; i < 25; i++ {
+		_, err := Run(Config{Workers: 2, Deadline: 30 * time.Second}, func(c *Ctx) {
+			ch := NewChan[int](0)
+			rc, cancel := c.WithTarget(time.Second)
+			req := rc.Spawn(func(cc *Ctx) { ch.Recv(cc) })
+			c.Latency(2 * time.Millisecond) // let the request park in Recv
+			cancel()                        // the shed: drain cancels the bound scope
+			if e := req.AwaitErr(c); !errors.Is(e, ErrCanceled) {
+				t.Errorf("shed request err = %v, want ErrCanceled", e)
+			}
+			// The channel must have forgotten the shed receiver entirely.
+			sender := c.Spawn(func(cc *Ctx) { ch.Send(cc, 7) })
+			if got := ch.Recv(c); got != 7 {
+				t.Errorf("post-shed Recv = %d, want 7", got)
+			}
+			sender.Await(c)
+		})
+		if err != nil {
+			t.Fatalf("iteration %d: Run: %v", i, err)
+		}
+	}
+	waitGoroutines(t, base+3)
+}
+
 // A watchdog-recovered stall must likewise drain every task goroutine.
 func TestNoGoroutineLeakAfterStall(t *testing.T) {
 	base := goruntime.NumGoroutine()

@@ -165,6 +165,7 @@ func (w *worker) getRdeque() *rdeque {
 //
 //lhws:nonblocking
 func (w *worker) putRdeque(d *rdeque) {
+	d.resetTarget()
 	if len(w.dqCache) < dqCacheCap {
 		w.dqCache = append(w.dqCache, d)
 	}

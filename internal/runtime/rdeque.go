@@ -32,6 +32,17 @@ type rdeque struct {
 	// be missing an in-flight resumption (see idle).
 	suspendCtr atomic.Int64
 
+	// targetNs is the earliest latency target (UnixNano; 0 = none) of any
+	// task spawned onto or suspended from this deque, maintained by
+	// noteTarget (CAS-min) and read lock-free by deadline-aware deque
+	// selection and steal gating. targetScope remembers which scope set it
+	// so a blown target can be shed by canceling that subtree. Both are
+	// best-effort: a target may outlive the tasks that carried it until
+	// the deque is recycled (resetTarget), which costs at worst a spurious
+	// idempotent cancel of an already-finished scope.
+	targetNs    atomic.Int64
+	targetScope atomic.Pointer[cancelScope]
+
 	mu           sync.Mutex
 	resumed      []*task
 	inResumedSet bool
@@ -102,6 +113,60 @@ func (d *rdeque) takeResumed(spare []*task) []*task {
 	d.inResumedSet = false
 	d.mu.Unlock()
 	return ts
+}
+
+// noteTarget records that work targeting tgt (UnixNano, non-zero) lives
+// on this deque, keeping the earliest target. Called from the spawn and
+// suspension paths only when the task's scope carries a target, so
+// target-free workloads never reach it.
+//
+//lhws:nonblocking
+func (d *rdeque) noteTarget(tgt int64, s *cancelScope) {
+	for {
+		cur := d.targetNs.Load()
+		if cur != 0 && cur <= tgt {
+			return
+		}
+		if d.targetNs.CompareAndSwap(cur, tgt) {
+			d.targetScope.Store(s)
+			return
+		}
+	}
+}
+
+// resetTarget clears target bookkeeping when the deque is recycled for
+// an unrelated subtree.
+//
+//lhws:nonblocking
+func (d *rdeque) resetTarget() {
+	d.targetNs.Store(0)
+	d.targetScope.Store(nil)
+}
+
+// blownTarget reports whether the deque's earliest target has already
+// passed (relative to now, UnixNano), returning the scope that set it
+// and the target value observed (for clearBlownTarget).
+//
+//lhws:nonblocking
+func (d *rdeque) blownTarget(now int64) (*cancelScope, int64, bool) {
+	tgt := d.targetNs.Load()
+	if tgt == 0 || now <= tgt {
+		return nil, 0, false
+	}
+	return d.targetScope.Load(), tgt, true
+}
+
+// clearBlownTarget retires a stale target marker observed by blownTarget:
+// the subtree that set it is already canceled or finished, so the deque's
+// remaining work is unrelated and thieves must not keep treating it as
+// blown. The CAS yields to any concurrent noteTarget that installed a
+// different target.
+//
+//lhws:nonblocking
+func (d *rdeque) clearBlownTarget(tgt int64) {
+	if d.targetNs.CompareAndSwap(tgt, 0) {
+		d.targetScope.Store(nil)
+	}
 }
 
 // idle reports whether the deque holds no items, no suspended tasks, and

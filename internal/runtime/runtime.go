@@ -113,6 +113,13 @@ type Config struct {
 	// also set StallTimeout (or Deadline) so lost wakeups surface as
 	// typed errors instead of hangs.
 	Faults *faultpoint.Injector
+	// ShedBlownTargets activates overload shedding in the scheduler:
+	// a steal attempt that lands on a deque whose latency target
+	// (WithTarget/WithDeadline) has already passed cancels that subtree
+	// with ErrTargetMissed instead of stealing from it, returning its
+	// workers to work that can still meet its target. Off by default —
+	// without it targets only steer deque selection and never cancel.
+	ShedBlownTargets bool
 }
 
 // Stats reports counters from one execution. All counts are totals across
@@ -129,6 +136,8 @@ type Stats struct {
 	ResumeBatches      int64         // multi-task pfor-tree injections by drainResumed
 	ResumeBatchTasks   int64         // tasks re-injected inside those batches
 	MaxDequesPerWorker int32         // high-water mark of live deques on one worker
+	TasksLate          int64         // tasks that completed after their scope's latency target
+	TargetCancels      int64         // subtrees shed by steal gating (ShedBlownTargets)
 	Stalled            bool          // the suspension watchdog fired
 	SuppressedErrors   []string      // fatal errors after the first (first-error-wins)
 	Wall               time.Duration // wall-clock duration of Run
@@ -221,6 +230,8 @@ func Run(cfg Config, root func(*Ctx)) (*Stats, error) {
 	st := &Stats{
 		TasksCanceled:      rt.stats.TasksCanceled.Load(),
 		TasksPanicked:      rt.stats.TasksPanicked.Load(),
+		TasksLate:          rt.stats.TasksLate.Load(),
+		TargetCancels:      rt.stats.TargetCancels.Load(),
 		MaxDequesPerWorker: rt.stats.MaxDeques.Load(),
 		Stalled:            rt.stalled.Load(),
 		SuppressedErrors:   suppressed,
@@ -247,15 +258,21 @@ type runtimeState struct {
 	root      *cancelScope
 	liveTasks atomic.Int64
 	// pendingWakes counts wakeups that are scheduled but not yet
-	// delivered (armed Latency timers, fault-delayed re-injections): a
-	// run with pending wakes is waiting, not stalled.
+	// delivered (armed Latency timers, derived-scope deadline timers,
+	// fault-delayed re-injections): a run with pending wakes is waiting,
+	// not stalled.
 	pendingWakes atomic.Int64
-	stalled      atomic.Bool
-	done         chan struct{}
-	doneOnce     sync.Once
-	stats        atomicStats
-	shards       []statShard // per-worker hot counters (see stats.go)
-	pools        runtimePools
+	// extPending counts outstanding external suspensions (KindFD /
+	// KindExternal): tasks parked on socket readiness or callback
+	// completions. It feeds the load signal (see load.go), not the
+	// watchdog — an fd that never fires is still a stall.
+	extPending atomic.Int64
+	stalled    atomic.Bool
+	done       chan struct{}
+	doneOnce   sync.Once
+	stats      atomicStats
+	shards     []statShard // per-worker hot counters (see stats.go)
+	pools      runtimePools
 	// poolStop, closed when the run drains, releases every pooled task
 	// goroutine parked between lives (see task.main).
 	poolStop chan struct{}
@@ -263,6 +280,8 @@ type runtimeState struct {
 	// maintained only for the watchdog (see wait.go).
 	trackSuspends bool
 	susReg        suspendRegistry
+	// loadSamp is the load signal's across-sample state (see load.go).
+	loadSamp loadSampler
 	// wheel is the run's shared hashed timer wheel: Latency expirations,
 	// scope deadlines, and fault-delayed wakeups all ride it, so many
 	// thousand sleeping tasks cost one timer goroutine.
@@ -351,6 +370,8 @@ func (rt *runtimeState) recordFatal(err error) {
 type atomicStats struct {
 	TasksCanceled atomic.Int64
 	TasksPanicked atomic.Int64
+	TasksLate     atomic.Int64
+	TargetCancels atomic.Int64
 	MaxDeques     atomic.Int32
 }
 
@@ -377,6 +398,9 @@ func (rt *runtimeState) finished() bool {
 
 // failSteal consults the fault injector's steal point. One nil check
 // when chaos is off; the Decide call itself takes only a leaf mutex.
+// Fail aborts the attempt; Delay models steal-latency inflation — the
+// nonzero steal latency of the Gast et al. analyses — by stalling the
+// thief before the attempt proceeds.
 //
 //lhws:nonblocking
 func (rt *runtimeState) failSteal() bool {
@@ -384,6 +408,13 @@ func (rt *runtimeState) failSteal() bool {
 	if inj == nil {
 		return false
 	}
-	act, _ := inj.Decide(faultpoint.Steal)
-	return act == faultpoint.Fail
+	switch act, d := inj.Decide(faultpoint.Steal); act {
+	case faultpoint.Fail:
+		return true
+	case faultpoint.Delay:
+		time.Sleep(d) //lhws:allowblock chaos-only bounded stall modeling steal latency; unreachable without an injector
+		return false
+	default:
+		return false
+	}
 }

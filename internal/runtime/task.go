@@ -114,6 +114,13 @@ func (t *task) runOne() {
 				t.rt.recordFatal(t.err)
 			}
 		}
+		// Goodput accounting: a task that finished cleanly but after its
+		// scope's latency target is a late completion — throughput the
+		// server scenario's client no longer wants. One plain field read
+		// when no target is set.
+		if tgt := t.scope.target; tgt != 0 && t.err == nil && time.Now().UnixNano() > tgt {
+			t.rt.stats.TasksLate.Add(1)
+		}
 		if t.fut != nil {
 			t.fut.complete(t.err)
 		}
@@ -175,6 +182,9 @@ func (c *Ctx) spawn(f func(*Ctx), fut *Future) *Future {
 	c.t.w.stat.tasksSpawned.Add(1)
 	// The running task holds the owner role of its worker, so pushing onto
 	// the active deque is owner-side and safe.
+	if tgt := c.scope.target; tgt != 0 {
+		c.t.w.active.noteTarget(tgt, c.scope)
+	}
 	c.t.w.active.q.PushBottom(c.t.w.newTaskNode(child))
 	return fut
 }

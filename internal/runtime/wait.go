@@ -83,6 +83,16 @@ func (t *task) beginWait(site string, kind WaitKind, home *rdeque, src wakeSourc
 	wt.kind = kind
 	wt.extN, wt.extErr = 0, nil
 	wt.refs.Store(2)
+	// A suspending task pins its target to the home deque it will resume
+	// to, so deadline-aware selection keeps following the request across
+	// suspensions (and across steals that moved it off its spawn deque).
+	// The nil check covers harness-built shells that never ran a life.
+	if s := t.scope; s != nil && s.target != 0 {
+		home.noteTarget(s.target, s)
+	}
+	if kind == KindFD || kind == KindExternal {
+		t.rt.extPending.Add(1)
+	}
 	t.rt.noteSuspend(t, site, kind, t.w.id, home)
 	t.w.stat.suspensions.Add(1)
 	return wt
@@ -123,6 +133,9 @@ func (wt *waiter) wake(abortErr error) bool {
 	// payload is copied onto the task here because the waiter may be
 	// recycled before the task reads it.
 	t.wakeErr = abortErr
+	if wt.kind == KindFD || wt.kind == KindExternal {
+		t.rt.extPending.Add(-1)
+	}
 	if abortErr == nil {
 		// Only a completion wake carries a payload. An abort wake must not
 		// read these fields: a stale Complete (about to lose this claim)
@@ -170,31 +183,37 @@ func (wt *waiter) abortWait(err error) {
 // defers the wake).
 //
 //lhws:nosuspend
-func (wt *waiter) deliver(p faultpoint.Point) {
+func (wt *waiter) deliver(p faultpoint.Point) bool {
 	rt := wt.t.rt
 	inj := rt.cfg.Faults
 	if inj == nil {
-		wt.wake(nil)
+		won := wt.wake(nil)
 		wt.release()
-		return
+		return won
 	}
 	switch act, d := inj.Decide(p); act {
 	case faultpoint.Drop:
 		// Lost wakeup: the task stays suspended until the watchdog or a
-		// cancellation aborts it.
+		// cancellation aborts it. The payload was never handed over.
 		wt.release()
+		return false
 	case faultpoint.Delay:
 		rt.pendingWakes.Add(1)
 		rt.wheel.AfterFunc(d, deliverDelayed, wt)
+		// The claim is decided later; report delivered so the completer
+		// treats the payload as handed over (chaos-mode semantics).
+		return true
 	case faultpoint.Dup:
 		wt.refs.Add(1) // the duplicate delivery's reference
-		wt.wake(nil)
+		won := wt.wake(nil)
 		rt.pendingWakes.Add(1)
 		rt.wheel.AfterFunc(d, deliverDelayed, wt) // stale epoch: discarded by the claim CAS
 		wt.release()
+		return won
 	default:
-		wt.wake(nil)
+		won := wt.wake(nil)
 		wt.release()
+		return won
 	}
 }
 

@@ -227,7 +227,12 @@ func (w *worker) retireActive() {
 }
 
 // trySwitch activates one of the worker's ready deques (Figure 3,
-// lines 46-48).
+// lines 46-48). Selection is deadline-aware: if any ready deque carries
+// a latency target (WithTarget/WithDeadline), the earliest-target deque
+// wins — EDF among the worker's own deques — so a request that can still
+// meet its target is not starved behind later-arriving target-free work.
+// With no targets in play the scan finds nothing and selection stays
+// LIFO, preserving the locality the paper's §6 policy relies on.
 //
 //lhws:nonblocking
 func (w *worker) trySwitch() bool {
@@ -237,7 +242,15 @@ func (w *worker) trySwitch() bool {
 		w.mu.Unlock()
 		return false
 	}
-	d := w.ready[n-1]
+	pick := n - 1
+	best := int64(0)
+	for i := n - 1; i >= 0; i-- {
+		if tgt := w.ready[i].targetNs.Load(); tgt != 0 && (best == 0 || tgt < best) {
+			best, pick = tgt, i
+		}
+	}
+	d := w.ready[pick]
+	w.ready[pick] = w.ready[n-1]
 	w.ready[n-1] = nil
 	w.ready = w.ready[:n-1]
 	d.inReadySet = false
@@ -252,6 +265,18 @@ func (w *worker) trySwitch() bool {
 // The candidate is indexed directly under the victim's lock — no candidate
 // slice is materialized on this path.
 //
+// Two deadline-aware refinements layer on top (both no-ops for workloads
+// without targets). First, preference: if any of the victim's deques
+// carries a still-feasible latency target, the thief takes the
+// earliest-target one instead of a random pick, spreading workers onto
+// the request closest to its deadline. Second, gating: when
+// Config.ShedBlownTargets is set and the chosen deque's target has
+// already passed, the thief does not steal from it — pulling more
+// workers into a subtree that will miss its target anyway is the
+// overload collapse mode — and instead sheds the subtree by canceling
+// its scope with ErrTargetMissed, so its tasks unwind and capacity
+// returns to feasible work.
+//
 //lhws:nonblocking
 func (w *worker) trySteal() bool {
 	w.stat.stealAttempts.Add(1)
@@ -262,14 +287,26 @@ func (w *worker) trySteal() bool {
 	if victim == nil {
 		return false
 	}
+	now := time.Now().UnixNano()
 	victim.mu.Lock() //lhws:allowblock leaf mutex on the victim, O(1) critical section, never held across a wait
 	var target *rdeque
+	var bestTgt int64
 	nready := len(victim.ready)
 	total := nready
 	if victim.active != nil {
 		total++
 	}
-	if total > 0 {
+	for _, d := range victim.ready {
+		if tgt := d.targetNs.Load(); tgt != 0 && tgt > now && (bestTgt == 0 || tgt < bestTgt) {
+			target, bestTgt = d, tgt
+		}
+	}
+	if a := victim.active; a != nil {
+		if tgt := a.targetNs.Load(); tgt != 0 && tgt > now && (bestTgt == 0 || tgt < bestTgt) {
+			target, bestTgt = a, tgt
+		}
+	}
+	if target == nil && total > 0 {
 		if i := w.rnd.Intn(total); i < nready {
 			target = victim.ready[i]
 		} else {
@@ -280,12 +317,31 @@ func (w *worker) trySteal() bool {
 	if target == nil {
 		return false
 	}
+	if w.rt.cfg.ShedBlownTargets {
+		if sc, tgt, blown := target.blownTarget(now); blown {
+			if sc != nil && sc.cancel(ErrTargetMissed) { //lhws:allowblock shed path, not a steal hot path: scope-tree leaf mutexes with O(children) critical sections, never held across a wait
+				w.rt.stats.TargetCancels.Add(1)
+				return false
+			}
+			// The scope that set the target is already canceled or done:
+			// the marker is stale. Retire it and steal normally instead of
+			// repelling thieves from a deque that has moved on to
+			// unrelated work.
+			target.clearBlownTarget(tgt)
+		}
+	}
 	it, ok := target.q.PopTop()
 	if !ok {
 		return false
 	}
 	w.stat.steals.Add(1)
 	w.adoptDeque(w.getRdeque())
+	// The stolen work carries the victim deque's target with it, so EDF
+	// preference and steal gating keep following the subtree on the
+	// thief's side.
+	if tgt := target.targetNs.Load(); tgt != 0 {
+		w.active.noteTarget(tgt, target.targetScope.Load())
+	}
 	// Resolve after adopting: a stolen pfor node splits onto the thief's
 	// fresh deque, leaving its left half-ranges stealable here.
 	w.assigned = w.resolveItem(it)

@@ -23,7 +23,9 @@ package lhws
 
 import (
 	"net"
+	"time"
 
+	"lhws/internal/admit"
 	"lhws/internal/dag"
 	"lhws/internal/experiments"
 	"lhws/internal/faultpoint"
@@ -319,6 +321,65 @@ const (
 	// KindExternal waits on a generic external completion (AwaitExternal).
 	KindExternal = runtime.KindExternal
 )
+
+// Overload control (DESIGN.md §11): per-request latency targets,
+// deadline-aware admission, load shedding, and graceful drain for
+// server-shaped workloads built on the runtime and I/O layers.
+type (
+	// AdmitConfig parameterizes an admission controller: an inflight
+	// credit pool plus saturation thresholds for degrade and reject.
+	AdmitConfig = admit.Config
+	// AdmitController is the deadline-aware admission controller; it
+	// also implements IOGate for accept-path backpressure.
+	AdmitController = admit.Controller
+	// AdmitTicket is one admitted request's handle: consult Degraded /
+	// Parallelism for the degrade decision, Bind a scope cancel for
+	// drain-time shedding, and Done to release the credit.
+	AdmitTicket = admit.Ticket
+	// AdmitPolicy is the admission decision attached to a ticket.
+	AdmitPolicy = admit.Policy
+	// DrainReport summarizes a graceful drain.
+	DrainReport = admit.DrainReport
+	// RuntimeLoad is one sample of the runtime's saturation state
+	// (Ctx.LoadSignal), the input to admission decisions.
+	RuntimeLoad = runtime.Load
+	// IOGate is the admission valve a Listener consults before pulling
+	// connections out of the kernel backlog (IOListener.SetGate).
+	IOGate = io.Gate
+)
+
+// Admission policies.
+const (
+	// AdmitFull runs the request at full parallelism.
+	AdmitFull = admit.Admitted
+	// AdmitDegraded runs the request with inner parallelism shed.
+	AdmitDegraded = admit.Degraded
+)
+
+// Overload-control errors.
+var (
+	// ErrOverload reports admission refused because the runtime is
+	// saturated (reject-fast).
+	ErrOverload = admit.ErrOverload
+	// ErrAdmitDraining reports admission refused because the controller
+	// is draining for shutdown.
+	ErrAdmitDraining = admit.ErrDraining
+	// ErrTargetMissed reports a subtree shed because its latency target
+	// had already passed (RuntimeConfig.ShedBlownTargets).
+	ErrTargetMissed = runtime.ErrTargetMissed
+)
+
+// NewAdmitController returns an admission controller for the given
+// thresholds; share one per server. Zero-valued thresholds disable
+// their checks.
+func NewAdmitController(cfg AdmitConfig) *AdmitController { return admit.New(cfg) }
+
+// WithTarget derives a scope carrying a soft latency target d from now:
+// deadline-aware deque selection prefers its work, steal gating may
+// shed it once the target has passed (unlike WithDeadline, no timer
+// fires — a blown target without ShedBlownTargets only marks the task
+// late in RuntimeStats.TasksLate).
+func WithTarget(c *Ctx, d time.Duration) (*Ctx, func()) { return c.WithTarget(d) }
 
 // Experiment drivers reproducing the paper's evaluation; see EXPERIMENTS.md.
 type (
