@@ -3,7 +3,7 @@ GO ?= go
 # Core packages whose hot paths the race/vet gates guard.
 CORE := ./internal/deque/... ./internal/runtime/... ./internal/sched/...
 
-.PHONY: all build test race race-core vet lhws-vet lint chaos bench-runtime bench-io bench-goodput bench-goodput-smoke bench-smoke ci figures clean
+.PHONY: all build test race race-core vet lhws-vet lint chaos bench-runtime bench-io bench-goodput bench-goodput-smoke bench-steal bench-steal-smoke bench-smoke ci figures clean
 
 all: build
 
@@ -79,6 +79,21 @@ bench-goodput:
 bench-goodput-smoke:
 	$(GO) run ./cmd/lhws-bench -exp goodput -goodsmoke
 
+# bench-steal regenerates the steal-economics record (BENCH_steal.json):
+# batched multi-item steals vs the single-item baseline measured in the
+# same run, plus the two-tier locality split. Gates: the skewed fan-out
+# must average >= 2 items per successful steal and beat its same-run
+# single-item baseline on the median paired ratio (see EXPERIMENTS.md
+# "Steal economics").
+bench-steal:
+	$(GO) run ./cmd/lhws-bench -exp steal
+
+# bench-steal-smoke is the CI form: tiny ops, ratio gates only (items
+# per steal, locality-tier coverage, counter consistency), no timing
+# comparison and no JSON — CI boxes are too noisy for wall-time gates.
+bench-steal-smoke:
+	$(GO) run ./cmd/lhws-bench -exp steal -stealsmoke
+
 # bench-smoke is the CI form: every benchmark compiles and runs once, and
 # the AllocsPerRun gates assert the pooled hot paths stay allocation-free
 # at steady state. No timing thresholds — CI boxes are too noisy for ns/op
@@ -88,7 +103,7 @@ bench-smoke:
 	$(GO) test -run 'TestAllocs' -count=1 ./internal/runtime/
 
 # ci mirrors .github/workflows/ci.yml.
-ci: build lint vet test race chaos bench-smoke bench-goodput-smoke
+ci: build lint vet test race chaos bench-smoke bench-goodput-smoke bench-steal-smoke
 
 figures:
 	$(GO) run ./cmd/lhws-bench -exp fig11 -svg figures

@@ -39,16 +39,18 @@ type tabler interface {
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig11, greedy, bound, lemmas, steals, variants, potential, uwidth, wallclock, responsiveness, multiprog, scale, runtime, io, goodput, all")
-		deltaMS   = flag.Float64("delta", 0, "fig11 panel latency in ms (500, 50, 1); 0 runs all three panels")
-		full      = flag.Bool("full", false, "fig11 at the paper's full scale (n=5000) instead of the laptop scale (n=500)")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		markdown  = flag.Bool("markdown", false, "render tables as Markdown")
-		svgDir    = flag.String("svg", "", "directory to write Figure-11 panels as SVG plots (fig11 only)")
-		jsonOut   = flag.String("out", "BENCH_runtime.json", "output path for the -exp runtime JSON sweep")
-		jsonOutIO = flag.String("ioout", "BENCH_io.json", "output path for the -exp io JSON comparison")
-		goodOut   = flag.String("goodout", "BENCH_goodput.json", "output path for the -exp goodput JSON sweep")
-		goodSmoke = flag.Bool("goodsmoke", false, "goodput at CI smoke scale (tiny load, no-collapse gate only, no JSON)")
+		exp        = flag.String("exp", "all", "experiment: fig11, greedy, bound, lemmas, steals, variants, potential, uwidth, wallclock, responsiveness, multiprog, scale, runtime, io, goodput, steal, all")
+		deltaMS    = flag.Float64("delta", 0, "fig11 panel latency in ms (500, 50, 1); 0 runs all three panels")
+		full       = flag.Bool("full", false, "fig11 at the paper's full scale (n=5000) instead of the laptop scale (n=500)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		markdown   = flag.Bool("markdown", false, "render tables as Markdown")
+		svgDir     = flag.String("svg", "", "directory to write Figure-11 panels as SVG plots (fig11 only)")
+		jsonOut    = flag.String("out", "BENCH_runtime.json", "output path for the -exp runtime JSON sweep")
+		jsonOutIO  = flag.String("ioout", "BENCH_io.json", "output path for the -exp io JSON comparison")
+		goodOut    = flag.String("goodout", "BENCH_goodput.json", "output path for the -exp goodput JSON sweep")
+		goodSmoke  = flag.Bool("goodsmoke", false, "goodput at CI smoke scale (tiny load, no-collapse gate only, no JSON)")
+		stealOut   = flag.String("stealout", "BENCH_steal.json", "output path for the -exp steal JSON sweep")
+		stealSmoke = flag.Bool("stealsmoke", false, "steal economics at CI smoke scale (ratio gates only, no JSON)")
 	)
 	flag.Parse()
 
@@ -189,9 +191,43 @@ func main() {
 		})
 	}
 
+	if want("steal") {
+		cfg := experiments.ScaledStealBench()
+		label := "steal economics (batched vs single-item, locality shards)"
+		if *stealSmoke {
+			cfg = experiments.SmokeStealBench()
+			label = "steal economics (smoke)"
+		}
+		cfg.Seed = *seed
+		run(label, func() (tabler, error) {
+			r, err := experiments.StealBench(cfg)
+			if err == nil && !*stealSmoke {
+				if werr := writeStealJSON(*stealOut, r); werr != nil {
+					fmt.Fprintf(os.Stderr, "json: %v\n", werr)
+					ok = false
+				}
+			}
+			return r, err
+		})
+	}
+
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// writeStealJSON writes the steal-economics sweep as the
+// BENCH_steal.json regression record.
+func writeStealJSON(path string, r *experiments.StealBenchResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // writeGoodputJSON writes the overload sweep as the BENCH_goodput.json

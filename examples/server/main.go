@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"lhws"
+	"lhws/internal/trace"
 )
 
 // Wire protocol: a request is a 4-byte big-endian id; a reply is one
@@ -257,7 +258,13 @@ func main() {
 		}()
 
 		var drain *lhws.DrainReport
-		cfg := lhws.RuntimeConfig{Workers: *workers, Mode: mode, ShedBlownTargets: true}
+		// The steal log taps the runtime's steal event stream so the
+		// summary can report locality and batching ratios per mode.
+		slog := trace.NewStealLog(*workers)
+		cfg := lhws.RuntimeConfig{Workers: *workers, Mode: mode, ShedBlownTargets: true,
+			OnSteal: func(ev lhws.StealEvent) {
+				slog.Record(ev.Thief, ev.Victim, ev.Items, ev.Local)
+			}}
 		st, err := lhws.RunTasks(cfg, func(c *lhws.Ctx) {
 			l, lerr := lhws.IOListen(c, "tcp", "127.0.0.1:0")
 			if lerr != nil {
@@ -289,6 +296,10 @@ func main() {
 			st.TasksLate, st.TargetCancels, tl.sum.Load())
 		fmt.Printf("%-15s drain: completed %d, canceled %d, remaining %d in %v\n",
 			"", drain.Completed, drain.Canceled, drain.Remaining, drain.Waited.Round(time.Millisecond))
+		if tot := slog.Total(); tot.Steals > 0 {
+			fmt.Printf("%-15s steals: %d moving %d items (%.2f items/steal), %.0f%% local\n",
+				"", tot.Steals, tot.Items, tot.MeanBatch(), 100*tot.LocalityRatio())
+		}
 		if ok+timedOut+rejected+shed != int64(*requests) {
 			log.Fatalf("lost requests: %d ok + %d timeout + %d rejected + %d shed != %d",
 				ok, timedOut, rejected, shed, *requests)

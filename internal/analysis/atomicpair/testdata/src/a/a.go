@@ -49,3 +49,24 @@ func peek() int64 {
 func reset(c *counter) {
 	c.n = 0 //lhws:nonatomic runs before the worker pool starts, no concurrent access yet
 }
+
+// dq models the deque's packed batch-steal claim word: thieves CAS it,
+// so every other access must be atomic too.
+type dq struct {
+	claim int64
+}
+
+// tryClaim establishes claim as an atomically-accessed field.
+func tryClaim(d *dq, start, n int64) bool {
+	return atomic.CompareAndSwapInt64(&d.claim, 0, start<<8|n)
+}
+
+func release(d *dq) {
+	atomic.StoreInt64(&d.claim, 0)
+}
+
+// ownerPeek races the thieves' CAS: a plain read of the claim word can
+// miss a concurrent claim and let the owner pop a claimed slot.
+func ownerPeek(d *dq) bool {
+	return d.claim != 0 // want `non-atomic access to claim`
+}

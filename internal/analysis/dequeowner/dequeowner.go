@@ -18,11 +18,16 @@
 //     statement-level //lhws:owner directive can override even this for
 //     the rare case where the spawn is itself the handoff.
 //
-//  3. The deque's ordering fields (top, bottom, array) may be touched
-//     only by methods of the type that declares them or by constructor
-//     functions returning that type — even inside package deque, where
-//     a helper mutating d.top directly would bypass the memory-ordering
-//     protocol of PushBottom/PopTop.
+//  3. The deque's ordering fields (top, bottom, array, and the
+//     batch-steal claim word) may be touched only by methods of the
+//     type that declares them or by constructor functions returning
+//     that type — even inside package deque, where a helper mutating
+//     d.top or d.claim directly would bypass the memory-ordering
+//     protocol of PushBottom/PopTop/PopTopBatch.
+//
+// The thief-side methods (PopTop, PopTopBatch) need no owner
+// declaration: any worker may steal, single items or batches alike.
+// Only the bottom end is single-owner.
 package dequeowner
 
 import (
@@ -44,6 +49,7 @@ var orderingFields = map[string]bool{
 	"top":    true,
 	"bottom": true,
 	"array":  true,
+	"claim":  true,
 }
 
 var Analyzer = &analysis.Analyzer{

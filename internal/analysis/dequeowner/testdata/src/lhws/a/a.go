@@ -4,11 +4,13 @@ package a
 import "lhws/internal/deque"
 
 // plain holds no owner declaration, so owner-only calls are flagged;
-// the thief-side PopTop is always allowed.
+// the thief-side PopTop and PopTopBatch are always allowed — any worker
+// may steal, single items or batches alike.
 func plain(d *deque.ChaseLev) {
 	d.PushBottom(nil) // want `owner-only deque method PushBottom`
 	d.PopBottom()     // want `owner-only deque method PopBottom`
 	d.PopTop()
+	d.PopTopBatch(make([]deque.Item, 8), 8)
 }
 
 // spawned goroutines never hold the owner role, even inside a function

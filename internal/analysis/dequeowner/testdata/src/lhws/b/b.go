@@ -28,3 +28,9 @@ func enqueue(d *deque.ChaseLev, it deque.Item) {
 func steal(d *deque.ChaseLev) (deque.Item, bool) {
 	return d.PopTop()
 }
+
+// stealBatch is likewise thief-side: the batched transfer claims a
+// range at the top end and never touches the owner's bottom end.
+func stealBatch(d *deque.ChaseLev, buf []deque.Item) int {
+	return d.PopTopBatch(buf, len(buf))
+}

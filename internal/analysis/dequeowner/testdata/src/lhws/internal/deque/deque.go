@@ -9,6 +9,7 @@ type ChaseLev struct {
 	top    int64
 	bottom int64
 	array  []Item
+	claim  int64
 }
 
 // NewChaseLev is a constructor: touching the ordering fields here is
@@ -41,9 +42,23 @@ func (d *ChaseLev) PopTop() (Item, bool) {
 	return d.array[0], true
 }
 
+// PopTopBatch is the thief-side multi-item steal; methods of the
+// declaring type may operate the claim word.
+func (d *ChaseLev) PopTopBatch(dst []Item, max int) int {
+	if d.claim != 0 || d.bottom == d.top {
+		return 0
+	}
+	d.claim = 1
+	dst[0] = d.array[0]
+	d.top++
+	d.claim = 0
+	return 1
+}
+
 // reset is a rogue in-package helper: it manipulates the ordering
 // fields without going through the publication protocol.
 func reset(d *ChaseLev) {
 	d.top = 0    // want `direct access to deque ordering field ChaseLev\.top`
 	d.bottom = 0 // want `direct access to deque ordering field ChaseLev\.bottom`
+	d.claim = 0  // want `direct access to deque ordering field ChaseLev\.claim`
 }

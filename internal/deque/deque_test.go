@@ -136,6 +136,207 @@ func TestInterleavedPushPop(t *testing.T) {
 	}
 }
 
+// TestPopTopBatchSemantics locks in the batch-transfer contract shared by
+// both implementations: at most half the items move (a lone item moves
+// whole), oldest first, capped by max and len(dst), with the victim
+// keeping the bottom half in order.
+func TestPopTopBatchSemantics(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			for _, tc := range []struct {
+				n, max, want int
+			}{
+				{0, 8, 0},  // empty
+				{1, 8, 1},  // lone item moves whole
+				{2, 8, 1},  // half of two
+				{3, 8, 1},  // floor(n/2)
+				{8, 8, 4},  // half
+				{9, 8, 4},  // floor(9/2) = 4
+				{32, 8, 8}, // capped by max
+				{8, 1, 1},  // max 1 degenerates to a single steal
+				{8, 0, 0},  // max 0 is a no-op
+			} {
+				d := mk()
+				for i := 0; i < tc.n; i++ {
+					d.PushBottom(i)
+				}
+				dst := make([]Item, 16)
+				got := d.PopTopBatch(dst, tc.max)
+				if got != tc.want {
+					t.Fatalf("n=%d max=%d: transferred %d items, want %d", tc.n, tc.max, got, tc.want)
+				}
+				for i := 0; i < got; i++ {
+					if dst[i].(int) != i {
+						t.Fatalf("n=%d: dst[%d] = %v, want %d (oldest first)", tc.n, i, dst[i], i)
+					}
+				}
+				if d.Len() != tc.n-got {
+					t.Fatalf("n=%d: victim keeps %d items, want %d", tc.n, d.Len(), tc.n-got)
+				}
+				for i := tc.n - 1; i >= got; i-- {
+					it, ok := d.PopBottom()
+					if !ok || it.(int) != i {
+						t.Fatalf("n=%d: victim PopBottom = %v,%v, want %d,true", tc.n, it, ok, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPopTopBatchDifferential drives both implementations through random
+// mixed sequences including batch steals and demands identical results.
+func TestPopTopBatchDifferential(t *testing.T) {
+	fn := func(ops []uint8) bool {
+		cl := NewChaseLev()
+		lk := NewLocked()
+		next := 0
+		bufA := make([]Item, MaxBatch)
+		bufB := make([]Item, MaxBatch)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1:
+				cl.PushBottom(next)
+				lk.PushBottom(next)
+				next++
+			case 2:
+				a, aok := cl.PopBottom()
+				b, bok := lk.PopBottom()
+				if aok != bok || (aok && a.(int) != b.(int)) {
+					return false
+				}
+			case 3:
+				max := int(op)/4%5 + 1
+				na := cl.PopTopBatch(bufA, max)
+				nb := lk.PopTopBatch(bufB, max)
+				if na != nb {
+					return false
+				}
+				for i := 0; i < na; i++ {
+					if bufA[i].(int) != bufB[i].(int) {
+						return false
+					}
+				}
+			}
+			if cl.Len() != lk.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentBatchSteals hammers one owner (push/pop) against batch
+// thieves and single thieves simultaneously and verifies exactly-once
+// consumption — the invariant the claim protocol exists to protect. The
+// owner keeps the deque short so the contested window (owner fast-path
+// pop inside a claimed range) is hit constantly.
+func TestConcurrentBatchSteals(t *testing.T) {
+	const (
+		nItems       = 30000
+		nBatchers    = 3
+		nSingles     = 2
+		ownerPopBias = 2 // owner pops every ownerPopBias pushes, keeping the deque short
+	)
+	d := NewChaseLev()
+	var (
+		mu   sync.Mutex
+		seen = make(map[int]int, nItems)
+	)
+	record := func(it Item) {
+		mu.Lock()
+		seen[it.(int)]++
+		mu.Unlock()
+	}
+	var thieves sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < nBatchers; i++ {
+		thieves.Add(1)
+		go func() {
+			defer thieves.Done()
+			buf := make([]Item, MaxBatch)
+			for {
+				if n := d.PopTopBatch(buf, 8); n > 0 {
+					for j := 0; j < n; j++ {
+						record(buf[j])
+					}
+					continue
+				}
+				select {
+				case <-done:
+					for {
+						n := d.PopTopBatch(buf, 8)
+						if n == 0 {
+							return
+						}
+						for j := 0; j < n; j++ {
+							record(buf[j])
+						}
+					}
+				default:
+				}
+			}
+		}()
+	}
+	for i := 0; i < nSingles; i++ {
+		thieves.Add(1)
+		go func() {
+			defer thieves.Done()
+			for {
+				if it, ok := d.PopTop(); ok {
+					record(it)
+					continue
+				}
+				select {
+				case <-done:
+					for {
+						it, ok := d.PopTop()
+						if !ok {
+							return
+						}
+						record(it)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	for i := 0; i < nItems; i++ {
+		d.PushBottom(i)
+		if i%ownerPopBias == 0 {
+			if it, ok := d.PopBottom(); ok {
+				record(it)
+			}
+		}
+	}
+	for {
+		it, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		record(it)
+	}
+	close(done)
+	thieves.Wait()
+	for {
+		it, ok := d.PopTop()
+		if !ok {
+			break
+		}
+		record(it)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < nItems; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("item %d consumed %d times, want exactly 1", i, seen[i])
+		}
+	}
+}
+
 // TestDifferentialSequential drives ChaseLev and Locked with the same
 // random single-threaded operation sequence and demands identical results.
 func TestDifferentialSequential(t *testing.T) {

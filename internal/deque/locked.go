@@ -48,6 +48,41 @@ func (d *Locked) PopTop() (Item, bool) {
 	return it, true
 }
 
+// PopTopBatch removes up to max items from the thief end, at most half of
+// the deque (a lone item is taken whole), oldest first — the same
+// semantics as ChaseLev.PopTopBatch, arbitrated by the mutex instead of
+// the claim protocol.
+func (d *Locked) PopTopBatch(dst []Item, max int) int {
+	if max > len(dst) {
+		max = len(dst)
+	}
+	if max > MaxBatch {
+		max = MaxBatch
+	}
+	if max <= 0 {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return 0
+	}
+	take := n / 2
+	if n == 1 {
+		take = 1
+	}
+	if take > max {
+		take = max
+	}
+	for i := 0; i < take; i++ {
+		dst[i] = d.items[i]
+		d.items[i] = nil
+	}
+	d.items = d.items[take:]
+	return take
+}
+
 // Empty reports whether the deque is empty.
 func (d *Locked) Empty() bool { return d.Len() == 0 }
 

@@ -1,0 +1,314 @@
+package runtime
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Tests for the batched, locality-aware steal path (worker.trySteal):
+// a successful steal transfers the oldest prefix of the victim deque —
+// up to half, capped by maxSteal — onto the thief's deque with order
+// preserved, migrates the victim deque's target marker once per batch,
+// and records the transfer in the locality-split steal counters.
+
+// stealOnce drives thief.trySteal until it succeeds, resetting the
+// failed-steal counter so victim selection stays in the first tier.
+func stealOnce(t *testing.T, thief *worker) {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		thief.failedSteals = 0
+		if thief.trySteal() {
+			return
+		}
+	}
+	t.Fatal("trySteal did not succeed in 100 attempts")
+}
+
+// TestBatchStealPrefixTransfer pins the transfer contract on plain task
+// items: with 8 tasks on the victim, one steal moves the oldest 4; the
+// thief runs the very oldest and its deque drains the rest newest-first
+// (per-task LIFO preserved), while the victim keeps the bottom half.
+func TestBatchStealPrefixTransfer(t *testing.T) {
+	ws := harnessWorkers(2)
+	victim, thief := ws[0], ws[1]
+	const n = 8
+	tasks := make([]*task, n)
+	for i := range tasks {
+		tasks[i] = &task{}
+		victim.active.q.PushBottom(victim.newTaskNode(tasks[i]))
+	}
+	stealOnce(t, thief)
+
+	if thief.assigned != tasks[0] {
+		t.Fatalf("thief runs task %d, want 0 (the oldest)", taskIndex(tasks, thief.assigned))
+	}
+	got := drainOwner(thief)
+	want := []int{3, 2, 1} // LIFO over the transferred prefix t1..t3
+	if len(got) != len(want) {
+		t.Fatalf("thief deque drained %d tasks, want %d", len(got), len(want))
+	}
+	for i, tk := range got {
+		if tk != tasks[want[i]] {
+			t.Fatalf("thief pop %d = task %d, want %d", i, taskIndex(tasks, tk), want[i])
+		}
+	}
+	rest := drainOwner(victim)
+	for i, tk := range rest {
+		if want := n - 1 - i; tk != tasks[want] {
+			t.Fatalf("victim pop %d = task %d, want %d", i, taskIndex(tasks, tk), want)
+		}
+	}
+	if len(rest) != n/2 {
+		t.Fatalf("victim retained %d tasks, want %d (the bottom half)", len(rest), n/2)
+	}
+
+	st := thief.stat
+	if st.steals.Load() != 1 || st.batchItems.Load() != 4 {
+		t.Fatalf("steals=%d batchItems=%d, want 1 and 4", st.steals.Load(), st.batchItems.Load())
+	}
+	if st.stealsLocal.Load()+st.stealsRemote.Load() != 1 {
+		t.Fatalf("stealsLocal+stealsRemote = %d, want 1",
+			st.stealsLocal.Load()+st.stealsRemote.Load())
+	}
+}
+
+// TestBatchStealSingleItemCap pins the baseline: maxSteal == 1 restores
+// classic one-item stealing regardless of victim depth.
+func TestBatchStealSingleItemCap(t *testing.T) {
+	ws := harnessWorkers(2)
+	victim, thief := ws[0], ws[1]
+	victim.rt.maxSteal = 1
+	const n = 8
+	tasks := make([]*task, n)
+	for i := range tasks {
+		tasks[i] = &task{}
+		victim.active.q.PushBottom(victim.newTaskNode(tasks[i]))
+	}
+	stealOnce(t, thief)
+	if thief.assigned != tasks[0] {
+		t.Fatalf("thief runs task %d, want 0", taskIndex(tasks, thief.assigned))
+	}
+	if got := drainOwner(thief); len(got) != 0 {
+		t.Fatalf("thief deque holds %d extra tasks with maxSteal=1, want 0", len(got))
+	}
+	if rest := drainOwner(victim); len(rest) != n-1 {
+		t.Fatalf("victim retained %d tasks, want %d", len(rest), n-1)
+	}
+	if bi := thief.stat.batchItems.Load(); bi != 1 {
+		t.Fatalf("batchItems = %d, want 1", bi)
+	}
+}
+
+// TestBatchStealMigratesTarget checks that the victim deque's latency
+// target (and the scope that set it) follows the stolen batch onto the
+// thief's fresh deque — once per batch, not per item.
+func TestBatchStealMigratesTarget(t *testing.T) {
+	ws := harnessWorkers(2)
+	victim, thief := ws[0], ws[1]
+	sc := newCancelScope(victim.rt, nil)
+	tgt := time.Now().Add(time.Hour).UnixNano()
+	victim.active.noteTarget(tgt, sc)
+	if victim.rt.activeTargets.Load() != 1 {
+		t.Fatalf("activeTargets = %d after noteTarget, want 1", victim.rt.activeTargets.Load())
+	}
+	for i := 0; i < 4; i++ {
+		victim.active.q.PushBottom(victim.newTaskNode(&task{}))
+	}
+	stealOnce(t, thief)
+	if got := thief.active.targetNs.Load(); got != tgt {
+		t.Fatalf("thief deque target = %d, want %d (migrated with the batch)", got, tgt)
+	}
+	if got := thief.active.targetScope.Load(); got != sc {
+		t.Fatalf("thief deque target scope did not follow the batch")
+	}
+	if victim.rt.activeTargets.Load() != 2 {
+		t.Fatalf("activeTargets = %d after migration, want 2 (victim + thief)", victim.rt.activeTargets.Load())
+	}
+}
+
+// TestBatchStealPforNodeKeepsHalfRangeSplit checks that a pfor batch
+// node crossing as part of a steal still resolves by the lazy half-range
+// split: the thief executes the range's last task and its deque keeps
+// the left half stealable, exactly as with a single-item steal.
+func TestBatchStealPforNodeKeepsHalfRangeSplit(t *testing.T) {
+	ws := harnessWorkers(2)
+	victim, thief := ws[0], ws[1]
+	const n = 8
+	tasks := make([]*task, n)
+	for i := range tasks {
+		tasks[i] = &task{}
+	}
+	victim.active.q.PushBottom(victim.newBatchNode(append([]*task(nil), tasks...)))
+	stealOnce(t, thief)
+	if thief.assigned != tasks[n-1] {
+		t.Fatalf("thief runs task %d, want %d (the range's last)", taskIndex(tasks, thief.assigned), n-1)
+	}
+	seen := map[*task]bool{thief.assigned: true}
+	for _, tk := range drainOwner(thief) {
+		if seen[tk] {
+			t.Fatalf("task %d extracted twice", taskIndex(tasks, tk))
+		}
+		seen[tk] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("thief extracted %d distinct tasks, want %d (batch node moved whole)", len(seen), n)
+	}
+	if bi := thief.stat.batchItems.Load(); bi != 1 {
+		t.Fatalf("batchItems = %d, want 1 (a pfor node is one item)", bi)
+	}
+}
+
+// TestStealShardAssignment pins the shard topology: contiguous
+// near-equal groups covering every worker, sizes within one of each
+// other, and the documented defaults.
+func TestStealShardAssignment(t *testing.T) {
+	for _, tc := range []struct{ shards, workers, want int }{
+		{0, 1, 1}, {0, 4, 1}, {0, 5, 2}, {0, 8, 2}, {0, 16, 4},
+		{1, 8, 1}, {3, 8, 3}, {16, 8, 8},
+	} {
+		if got := stealShardCount(tc.shards, tc.workers); got != tc.want {
+			t.Errorf("stealShardCount(%d, %d) = %d, want %d", tc.shards, tc.workers, got, tc.want)
+		}
+	}
+	for _, p := range []int{1, 2, 5, 8, 13} {
+		for count := 1; count <= p; count++ {
+			ws := harnessWorkers(p)
+			assignStealShards(ws, count)
+			minSpan, maxSpan, shards := p+1, 0, 0
+			for i := 0; i < p; {
+				w := ws[i]
+				if w.shardLo != i {
+					t.Fatalf("p=%d count=%d: worker %d shardLo=%d, shards not contiguous", p, count, i, w.shardLo)
+				}
+				span := w.shardHi - w.shardLo
+				for j := i; j < w.shardHi; j++ {
+					if ws[j].shardLo != w.shardLo || ws[j].shardHi != w.shardHi {
+						t.Fatalf("p=%d count=%d: workers %d and %d disagree on their shard", p, count, i, j)
+					}
+				}
+				if span < minSpan {
+					minSpan = span
+				}
+				if span > maxSpan {
+					maxSpan = span
+				}
+				shards++
+				i = w.shardHi
+			}
+			if shards != count || maxSpan-minSpan > 1 {
+				t.Fatalf("p=%d count=%d: got %d shards with spans in [%d,%d]", p, count, shards, minSpan, maxSpan)
+			}
+		}
+	}
+}
+
+// TestPickVictimLocalTier checks the two-level policy: inside the local
+// tier every probe lands in the thief's shard (flagged local); once
+// failedSteals crosses the tier boundary, probes reach other shards too.
+func TestPickVictimLocalTier(t *testing.T) {
+	ws := harnessWorkers(8)
+	rt := ws[0].rt
+	rt.shardCount = 2
+	assignStealShards(ws, 2)
+	thief := ws[1]
+
+	thief.failedSteals = 0
+	for i := 0; i < 200; i++ {
+		v, local := thief.pickVictim()
+		if v == nil || v.id == thief.id {
+			t.Fatal("pickVictim returned nil or self")
+		}
+		if !local || v.id >= 4 {
+			t.Fatalf("local-tier probe hit worker %d (local=%v), want same-shard victim", v.id, local)
+		}
+	}
+
+	thief.failedSteals = localStealAttempts
+	sawRemote := false
+	for i := 0; i < 200; i++ {
+		v, local := thief.pickVictim()
+		if wantLocal := v.id < 4; local != wantLocal {
+			t.Fatalf("victim %d flagged local=%v, want %v", v.id, local, wantLocal)
+		}
+		sawRemote = sawRemote || !local
+	}
+	if !sawRemote {
+		t.Fatal("escalated tier never probed outside the shard in 200 draws")
+	}
+}
+
+// TestRunStealStatsConsistency runs a steal-heavy workload end to end
+// and checks the new counters' invariants: the locality split sums to
+// Steals, every steal moves at least one item, and the OnSteal stream
+// agrees with the counters.
+func TestRunStealStatsConsistency(t *testing.T) {
+	for _, m := range modes() {
+		var (
+			mu     sync.Mutex
+			events int64
+			items  int64
+		)
+		var st *Stats
+		for attempt := 0; attempt < 20 && (st == nil || st.Steals == 0); attempt++ {
+			mu.Lock()
+			events, items = 0, 0
+			mu.Unlock()
+			var err error
+			st, err = Run(Config{
+				Workers: 4, Mode: m, Seed: uint64(attempt), StealShards: 2,
+				OnSteal: func(ev StealEvent) {
+					if ev.Items < 1 || ev.Thief == ev.Victim {
+						t.Errorf("bad steal event %+v", ev)
+					}
+					mu.Lock()
+					events++
+					items += int64(ev.Items)
+					mu.Unlock()
+				},
+			}, func(c *Ctx) {
+				var futs []*Future
+				for i := 0; i < 64; i++ {
+					futs = append(futs, c.Spawn(func(cc *Ctx) { busyWork(100000) }))
+				}
+				for _, f := range futs {
+					f.Await(c)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st.Steals == 0 {
+			t.Errorf("%v: no steals despite 64 tasks on 4 workers", m)
+			continue
+		}
+		if st.StealsLocal+st.StealsRemote != st.Steals {
+			t.Errorf("%v: StealsLocal(%d)+StealsRemote(%d) != Steals(%d)",
+				m, st.StealsLocal, st.StealsRemote, st.Steals)
+		}
+		if st.BatchItems < st.Steals {
+			t.Errorf("%v: BatchItems = %d < Steals = %d", m, st.BatchItems, st.Steals)
+		}
+		mu.Lock()
+		if events != st.Steals || items != st.BatchItems {
+			t.Errorf("%v: OnSteal saw %d events/%d items, counters say %d/%d",
+				m, events, items, st.Steals, st.BatchItems)
+		}
+		mu.Unlock()
+	}
+}
+
+// TestStealConfigValidation pins the new knobs' validation.
+func TestStealConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Workers: 1, StealShards: -1}, func(c *Ctx) {}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("StealShards=-1: err = %v, want ErrConfig", err)
+	}
+	if _, err := Run(Config{Workers: 1, MaxStealBatch: -1}, func(c *Ctx) {}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("MaxStealBatch=-1: err = %v, want ErrConfig", err)
+	}
+	if _, err := Run(Config{Workers: 2, StealShards: 99, MaxStealBatch: 99999}, func(c *Ctx) {}); err != nil {
+		t.Fatalf("oversized knobs should clamp, got %v", err)
+	}
+}

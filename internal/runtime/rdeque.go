@@ -118,7 +118,12 @@ func (d *rdeque) takeResumed(spare []*task) []*task {
 // noteTarget records that work targeting tgt (UnixNano, non-zero) lives
 // on this deque, keeping the earliest target. Called from the spawn and
 // suspension paths only when the task's scope carries a target, so
-// target-free workloads never reach it.
+// target-free workloads never reach it. The 0→nonzero transition bumps
+// the run-wide activeTargets count, which lets the steal path skip the
+// time.Now() + EDF scan entirely while no deque anywhere carries a
+// target; every transition routes through the CAS here, through
+// resetTarget's Swap, or through clearBlownTarget's CAS, so the count is
+// exact, not advisory.
 //
 //lhws:nonblocking
 func (d *rdeque) noteTarget(tgt int64, s *cancelScope) {
@@ -129,6 +134,9 @@ func (d *rdeque) noteTarget(tgt int64, s *cancelScope) {
 		}
 		if d.targetNs.CompareAndSwap(cur, tgt) {
 			d.targetScope.Store(s)
+			if cur == 0 {
+				d.owner.rt.activeTargets.Add(1)
+			}
 			return
 		}
 	}
@@ -139,7 +147,9 @@ func (d *rdeque) noteTarget(tgt int64, s *cancelScope) {
 //
 //lhws:nonblocking
 func (d *rdeque) resetTarget() {
-	d.targetNs.Store(0)
+	if d.targetNs.Swap(0) != 0 {
+		d.owner.rt.activeTargets.Add(-1)
+	}
 	d.targetScope.Store(nil)
 }
 
@@ -166,6 +176,7 @@ func (d *rdeque) blownTarget(now int64) (*cancelScope, int64, bool) {
 func (d *rdeque) clearBlownTarget(tgt int64) {
 	if d.targetNs.CompareAndSwap(tgt, 0) {
 		d.targetScope.Store(nil)
+		d.owner.rt.activeTargets.Add(-1)
 	}
 }
 

@@ -29,7 +29,15 @@ type statShard struct {
 	// the single-injection-per-drain property.
 	resumeBatches    atomic.Int64
 	resumeBatchTasks atomic.Int64
-	_                [128 - 9*8]byte
+	// stealsLocal / stealsRemote split successful steals by victim tier
+	// (same locality shard vs escalated), and batchItems counts the items
+	// those steals transferred; batchItems / (stealsLocal+stealsRemote)
+	// is the steal-half amortization factor the steal-economics gates
+	// check (steals == stealsLocal + stealsRemote always).
+	stealsLocal  atomic.Int64
+	stealsRemote atomic.Int64
+	batchItems   atomic.Int64
+	_            [128 - 12*8]byte
 }
 
 // tasksRunTotal sums the run-slice counter across shards; the watchdog

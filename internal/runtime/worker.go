@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"lhws/internal/deque"
 	"lhws/internal/rng"
 )
 
@@ -15,6 +16,13 @@ type worker struct {
 	id   int
 	rnd  *rng.RNG
 	stat *statShard // this worker's hot-counter shard (see stats)
+
+	// shardLo/shardHi bound this worker's locality shard [lo, hi) for
+	// two-level victim selection (see pickVictim); fixed at Run setup.
+	shardLo, shardHi int
+	// stealBuf receives PopTopBatch transfers; owner-role access only,
+	// entries nil'd after every transfer so no stolen item is retained.
+	stealBuf []deque.Item
 
 	// mu guards the fields thieves and resume callbacks touch: the active
 	// pointer, the ready-deque list, and the resumed-deque list.
@@ -38,7 +46,12 @@ type worker struct {
 }
 
 func newWorker(rt *runtimeState, id int, r *rng.RNG) *worker {
-	return &worker{rt: rt, id: id, rnd: r, stat: &rt.shards[id]}
+	n := rt.maxSteal
+	if n < 1 {
+		n = 1 // runtimeState built outside Run (test harnesses)
+	}
+	return &worker{rt: rt, id: id, rnd: r, stat: &rt.shards[id],
+		stealBuf: make([]deque.Item, n)}
 }
 
 // loop is the latency-hiding scheduling loop (Figure 3). It must never
@@ -105,7 +118,7 @@ func (w *worker) loopBlocking() {
 			w.runTask(t)
 			continue
 		}
-		if w.tryStealBlocking() {
+		if w.trySteal() {
 			continue
 		}
 		if w.rt.finished() {
@@ -260,34 +273,56 @@ func (w *worker) trySwitch() bool {
 	return true
 }
 
-// trySteal performs one steal attempt under the §6 policy: choose a random
-// victim worker, then a random deque among its active and ready deques.
-// The candidate is indexed directly under the victim's lock — no candidate
-// slice is materialized on this path.
+// trySteal is the shared steal core for both scheduling modes: one
+// attempt under the §6 policy — choose a victim worker (two-level
+// locality selection, see pickVictim), then a deque among its active and
+// ready deques — followed by a batched transfer. The candidate is indexed
+// directly under the victim's lock; no candidate slice is materialized.
+// In Blocking mode the victim's ready list is always empty and the thief
+// keeps its single permanent deque, so the same code degenerates to
+// classic single-deque stealing with batching.
 //
-// Two deadline-aware refinements layer on top (both no-ops for workloads
-// without targets). First, preference: if any of the victim's deques
-// carries a still-feasible latency target, the thief takes the
-// earliest-target one instead of a random pick, spreading workers onto
-// the request closest to its deadline. Second, gating: when
-// Config.ShedBlownTargets is set and the chosen deque's target has
-// already passed, the thief does not steal from it — pulling more
-// workers into a subtree that will miss its target anyway is the
-// overload collapse mode — and instead sheds the subtree by canceling
-// its scope with ErrTargetMissed, so its tasks unwind and capacity
-// returns to feasible work.
+// Two deadline-aware refinements layer on top. Both are skipped — along
+// with the time.Now() call that prices them — unless some deque in the
+// run currently carries a latency target (rt.activeTargets), so
+// target-free workloads pay zero clock reads per attempt. First,
+// preference: if any of the victim's deques carries a still-feasible
+// target, the thief takes the earliest-target one instead of a random
+// pick, spreading workers onto the request closest to its deadline.
+// Second, gating: when Config.ShedBlownTargets is set and the chosen
+// deque's target has already passed, the thief does not steal from it —
+// pulling more workers into a subtree that will miss its target anyway
+// is the overload collapse mode — and instead sheds the subtree by
+// canceling its scope with ErrTargetMissed, so its tasks unwind and
+// capacity returns to feasible work.
 //
+// The transfer itself is the steal-half batching of Rito & Paulino
+// (arXiv:1810.10615): PopTopBatch moves up to half the victim deque —
+// capped by Config.MaxStealBatch — under one claim + one committing CAS,
+// so synchronization is paid per transfer, not per item. The batch tail
+// is re-pushed onto the thief's deque oldest-first, making the thief's
+// deque the stolen range verbatim: the topmost item is the oldest
+// (stealable onward by the next thief), the bottom the deepest, and the
+// thief runs the very oldest item first — observably a single classic
+// steal of the top item plus a prefix transfer. The victim deque's
+// target marker migrates once per batch, not per item.
+//
+//lhws:owner runs on the worker-loop goroutine; the batch tail is pushed onto w.active, which this thief owns (freshly adopted in latency-hiding mode, the permanent single deque in blocking mode)
 //lhws:nonblocking
 func (w *worker) trySteal() bool {
 	w.stat.stealAttempts.Add(1)
 	if w.rt.failSteal() {
 		return false
 	}
-	victim := w.pickVictim()
+	victim, local := w.pickVictim()
 	if victim == nil {
 		return false
 	}
-	now := time.Now().UnixNano()
+	var now int64
+	scanTargets := w.rt.activeTargets.Load() > 0
+	if scanTargets {
+		now = time.Now().UnixNano()
+	}
 	victim.mu.Lock() //lhws:allowblock leaf mutex on the victim, O(1) critical section, never held across a wait
 	var target *rdeque
 	var bestTgt int64
@@ -296,14 +331,16 @@ func (w *worker) trySteal() bool {
 	if victim.active != nil {
 		total++
 	}
-	for _, d := range victim.ready {
-		if tgt := d.targetNs.Load(); tgt != 0 && tgt > now && (bestTgt == 0 || tgt < bestTgt) {
-			target, bestTgt = d, tgt
+	if scanTargets {
+		for _, d := range victim.ready {
+			if tgt := d.targetNs.Load(); tgt != 0 && tgt > now && (bestTgt == 0 || tgt < bestTgt) {
+				target, bestTgt = d, tgt
+			}
 		}
-	}
-	if a := victim.active; a != nil {
-		if tgt := a.targetNs.Load(); tgt != 0 && tgt > now && (bestTgt == 0 || tgt < bestTgt) {
-			target, bestTgt = a, tgt
+		if a := victim.active; a != nil {
+			if tgt := a.targetNs.Load(); tgt != 0 && tgt > now && (bestTgt == 0 || tgt < bestTgt) {
+				target, bestTgt = a, tgt
+			}
 		}
 	}
 	if target == nil && total > 0 {
@@ -317,7 +354,7 @@ func (w *worker) trySteal() bool {
 	if target == nil {
 		return false
 	}
-	if w.rt.cfg.ShedBlownTargets {
+	if scanTargets && w.rt.cfg.ShedBlownTargets {
 		if sc, tgt, blown := target.blownTarget(now); blown {
 			if sc != nil && sc.cancel(ErrTargetMissed) { //lhws:allowblock shed path, not a steal hot path: scope-tree leaf mutexes with O(children) critical sections, never held across a wait
 				w.rt.stats.TargetCancels.Add(1)
@@ -330,60 +367,90 @@ func (w *worker) trySteal() bool {
 			target.clearBlownTarget(tgt)
 		}
 	}
-	it, ok := target.q.PopTop()
-	if !ok {
+	n := target.q.PopTopBatch(w.stealBuf, w.rt.maxSteal)
+	if n == 0 {
 		return false
 	}
-	w.stat.steals.Add(1)
-	w.adoptDeque(w.getRdeque())
-	// The stolen work carries the victim deque's target with it, so EDF
-	// preference and steal gating keep following the subtree on the
-	// thief's side.
-	if tgt := target.targetNs.Load(); tgt != 0 {
-		w.active.noteTarget(tgt, target.targetScope.Load())
+	w.noteSteal(victim, n, local)
+	if w.rt.cfg.Mode != Blocking {
+		w.adoptDeque(w.getRdeque())
+		// The stolen work carries the victim deque's target with it —
+		// once per batch — so EDF preference and steal gating keep
+		// following the subtree on the thief's side. Blocking mode skips
+		// the migration: its single permanent deque would accumulate
+		// CAS-min markers it can never retire.
+		if tgt := target.targetNs.Load(); tgt != 0 {
+			w.active.noteTarget(tgt, target.targetScope.Load())
+		}
 	}
-	// Resolve after adopting: a stolen pfor node splits onto the thief's
-	// fresh deque, leaving its left half-ranges stealable here.
-	w.assigned = w.resolveItem(it)
+	it0 := w.stealBuf[0]
+	for i := 1; i < n; i++ {
+		w.active.q.PushBottom(w.stealBuf[i])
+	}
+	for i := 0; i < n; i++ {
+		w.stealBuf[i] = nil
+	}
+	// Resolve after the tail transfer: a stolen pfor node splits onto the
+	// thief's deque below the batch tail, keeping its left half-ranges
+	// stealable here.
+	w.assigned = w.resolveItem(it0)
 	return true
 }
 
+// noteSteal records a successful transfer of items from victim in the
+// thief's stat shard and feeds the Config.OnSteal observer.
+//
 //lhws:nonblocking
-func (w *worker) tryStealBlocking() bool {
-	w.stat.stealAttempts.Add(1)
-	if w.rt.failSteal() {
-		return false
-	}
-	victim := w.pickVictim()
-	if victim == nil {
-		return false
-	}
-	victim.mu.Lock() //lhws:allowblock leaf mutex on the victim, O(1) critical section, never held across a wait
-	target := victim.active
-	victim.mu.Unlock()
-	if target == nil {
-		return false // victim loop not yet started
-	}
-	it, ok := target.q.PopTop()
-	if !ok {
-		return false
-	}
+func (w *worker) noteSteal(victim *worker, items int, local bool) {
 	w.stat.steals.Add(1)
-	w.assigned = w.resolveItem(it)
-	return true
+	w.stat.batchItems.Add(int64(items))
+	if local {
+		w.stat.stealsLocal.Add(1)
+	} else {
+		w.stat.stealsRemote.Add(1)
+	}
+	if f := w.rt.cfg.OnSteal; f != nil {
+		f(StealEvent{Thief: w.id, Victim: victim.id, Items: items, Local: local}) //lhws:allowblock user observer; Config.OnSteal documents it runs on the thief's steal path and must not block
+	}
 }
 
+// localStealAttempts is how many consecutive failed steals a thief spends
+// probing its own locality shard before escalating to uniform-over-all
+// victim selection — the near/far tier split of the Gast et al.
+// (arXiv:1805.00857) latency model. Reset on any successful pop or steal
+// (see loop), so a thief that finds work locally stays local.
+const localStealAttempts = 4
+
+// pickVictim chooses a victim under the two-level locality policy:
+// while the thief is in its local tier (fewer than localStealAttempts
+// consecutive failures) and its shard holds another worker, it probes
+// uniformly inside the shard; afterwards it probes uniformly over all
+// other workers, which may still land locally. The returned flag reports
+// whether the victim shares the thief's shard. With StealShards == 1 the
+// whole pool is one shard and selection is the classic uniform policy.
+//
 //lhws:nonblocking
-func (w *worker) pickVictim() *worker {
+func (w *worker) pickVictim() (*worker, bool) {
 	n := len(w.rt.workers)
 	if n == 1 {
-		return nil
+		return nil, false
+	}
+	if w.rt.shardCount > 1 && w.failedSteals < localStealAttempts {
+		if span := w.shardHi - w.shardLo; span > 1 {
+			vi := w.shardLo + w.rnd.Intn(span-1)
+			if vi >= w.id {
+				vi++
+			}
+			return w.rt.workers[vi], true
+		}
+		// The thief is alone in its shard: local probes could never
+		// succeed, so fall through to the escalated tier immediately.
 	}
 	vi := w.rnd.Intn(n - 1)
 	if vi >= w.id {
 		vi++
 	}
-	return w.rt.workers[vi]
+	return w.rt.workers[vi], vi >= w.shardLo && vi < w.shardHi
 }
 
 // adoptDeque installs a fresh deque as the active deque and updates the
@@ -404,19 +471,23 @@ func (w *worker) adoptDeque(d *rdeque) {
 	}
 }
 
-// backoff yields the processor between failed steal attempts, then
-// escalates through a capped exponential sleep ladder (1µs doubling to
-// 100µs) so timer goroutines can run even on GOMAXPROCS=1 while an idle
-// worker's spin cost stays bounded. Reset on any successful pop or steal.
+// backoff yields the processor between failed steal attempts, escalating
+// per steal tier. Local-tier probes (the first localStealAttempts
+// failures) and the first few escalated probes only yield — near steals
+// are cheap to retry, which is the point of probing them first — then
+// the escalated tier climbs a capped exponential sleep ladder (1µs
+// doubling to 100µs) so timer goroutines can run even on GOMAXPROCS=1
+// while an idle worker's spin cost stays bounded. Reset on any
+// successful pop or steal.
 //
 //lhws:nonblocking
 func (w *worker) backoff() {
 	w.failedSteals++
-	if w.failedSteals <= 8 {
+	if w.failedSteals <= localStealAttempts+4 {
 		goruntime.Gosched()
 		return
 	}
-	shift := w.failedSteals - 9
+	shift := w.failedSteals - (localStealAttempts + 5)
 	if shift > 7 {
 		shift = 7
 	}

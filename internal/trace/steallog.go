@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// StealLog collects the real runtime's steal event stream (the
+// RuntimeConfig.OnSteal callback) into per-thief tallies: how many
+// steals each worker performed, how many items they transferred, and
+// how the steals split between local (same locality shard) and remote
+// victims. The Record signature uses only basic types so the runtime
+// can feed it without this package importing the runtime (trace already
+// belongs to the simulator side via package sched).
+//
+// Record is safe for concurrent use; every thief goroutine calls it.
+type StealLog struct {
+	mu     sync.Mutex
+	byWkr  []StealTally
+	total  StealTally
+	spills StealTally // events from thief ids ≥ the declared worker count
+}
+
+// StealTally aggregates steal events: Steals = Local + Remote, and
+// Items ≥ Steals (every successful steal moves at least one item).
+type StealTally struct {
+	Steals int64
+	Items  int64
+	Local  int64
+	Remote int64
+}
+
+// MeanBatch returns items per successful steal — the batching
+// amortization factor (1.0 means single-item stealing).
+func (t StealTally) MeanBatch() float64 {
+	if t.Steals == 0 {
+		return 0
+	}
+	return float64(t.Items) / float64(t.Steals)
+}
+
+// LocalityRatio returns the fraction of steals that stayed inside the
+// thief's locality shard.
+func (t StealTally) LocalityRatio() float64 {
+	if t.Steals == 0 {
+		return 0
+	}
+	return float64(t.Local) / float64(t.Steals)
+}
+
+// NewStealLog returns a log sized for the given worker count.
+func NewStealLog(workers int) *StealLog {
+	return &StealLog{byWkr: make([]StealTally, workers)}
+}
+
+// Record adds one successful steal: thief took items from victim,
+// locally or not. Matches the runtime's StealEvent fields.
+func (l *StealLog) Record(thief, victim, items int, local bool) {
+	l.mu.Lock()
+	t := &l.spills
+	if thief >= 0 && thief < len(l.byWkr) {
+		t = &l.byWkr[thief]
+	}
+	t.add(items, local)
+	l.total.add(items, local)
+	l.mu.Unlock()
+}
+
+func (t *StealTally) add(items int, local bool) {
+	t.Steals++
+	t.Items += int64(items)
+	if local {
+		t.Local++
+	} else {
+		t.Remote++
+	}
+}
+
+// Total returns the run-wide tally.
+func (l *StealLog) Total() StealTally {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Worker returns worker i's tally as a thief.
+func (l *StealLog) Worker(i int) StealTally {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i < 0 || i >= len(l.byWkr) {
+		return StealTally{}
+	}
+	return l.byWkr[i]
+}
+
+// Summary renders a per-thief table with batch and locality ratios.
+func (l *StealLog) Summary() string {
+	l.mu.Lock()
+	byWkr := append([]StealTally(nil), l.byWkr...)
+	total := l.total
+	l.mu.Unlock()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %8s %8s %8s %8s %10s %8s\n",
+		"thief", "steals", "items", "local", "remote", "items/st", "local%")
+	for w, t := range byWkr {
+		fmt.Fprintf(&sb, "w%-7d %8d %8d %8d %8d %10.2f %7.1f%%\n",
+			w, t.Steals, t.Items, t.Local, t.Remote, t.MeanBatch(), 100*t.LocalityRatio())
+	}
+	fmt.Fprintf(&sb, "%-8s %8d %8d %8d %8d %10.2f %7.1f%%\n",
+		"total", total.Steals, total.Items, total.Local, total.Remote,
+		total.MeanBatch(), 100*total.LocalityRatio())
+	return sb.String()
+}

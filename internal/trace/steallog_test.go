@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStealLogTallies(t *testing.T) {
+	l := NewStealLog(2)
+	l.Record(0, 1, 4, true)
+	l.Record(0, 1, 2, false)
+	l.Record(1, 0, 1, true)
+	l.Record(7, 0, 3, true) // out-of-range thief lands in spills, still totalled
+
+	if got := l.Worker(0); got.Steals != 2 || got.Items != 6 || got.Local != 1 || got.Remote != 1 {
+		t.Fatalf("worker 0 tally = %+v", got)
+	}
+	if got := l.Worker(1); got.Steals != 1 || got.Items != 1 {
+		t.Fatalf("worker 1 tally = %+v", got)
+	}
+	tot := l.Total()
+	if tot.Steals != 4 || tot.Items != 10 || tot.Local != 3 || tot.Remote != 1 {
+		t.Fatalf("total tally = %+v", tot)
+	}
+	if mb := tot.MeanBatch(); mb != 2.5 {
+		t.Fatalf("MeanBatch = %v, want 2.5", mb)
+	}
+	if lr := tot.LocalityRatio(); lr != 0.75 {
+		t.Fatalf("LocalityRatio = %v, want 0.75", lr)
+	}
+	if z := (StealTally{}); z.MeanBatch() != 0 || z.LocalityRatio() != 0 {
+		t.Fatal("zero tally ratios must be 0, not NaN")
+	}
+	if s := l.Summary(); !strings.Contains(s, "total") || !strings.Contains(s, "items/st") {
+		t.Fatalf("Summary missing table parts:\n%s", s)
+	}
+}
+
+func TestStealLogConcurrent(t *testing.T) {
+	l := NewStealLog(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Record(g, (g+1)%4, 2, i%2 == 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	tot := l.Total()
+	if tot.Steals != 4000 || tot.Items != 8000 || tot.Local != 2000 {
+		t.Fatalf("total tally = %+v", tot)
+	}
+}

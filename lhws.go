@@ -137,6 +137,9 @@ type (
 	RuntimeStats = runtime.Stats
 	// RuntimeMode selects latency-hiding or blocking scheduling.
 	RuntimeMode = runtime.Mode
+	// StealEvent describes one successful steal for
+	// RuntimeConfig.OnSteal (thief, victim, items moved, locality).
+	StealEvent = runtime.StealEvent
 	// Ctx is a task's handle to the runtime.
 	Ctx = runtime.Ctx
 	// Future is the completion handle of a spawned task.
