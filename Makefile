@@ -3,7 +3,7 @@ GO ?= go
 # Core packages whose hot paths the race/vet gates guard.
 CORE := ./internal/deque/... ./internal/runtime/... ./internal/sched/...
 
-.PHONY: all build test race race-core vet lhws-vet lint chaos bench-runtime bench-io bench-goodput bench-goodput-smoke bench-steal bench-steal-smoke bench-smoke ci figures clean
+.PHONY: all build test race race-core vet lhws-vet lint chaos bench-runtime bench-io bench-io-smoke bench-goodput bench-goodput-smoke bench-steal bench-steal-smoke bench-smoke ci figures clean
 
 all: build
 
@@ -58,12 +58,22 @@ bench-runtime:
 	$(GO) test -run '^$$' -bench 'SpawnAwaitLadder|WideFanout|StealHeavySkew|ResumeStorm' -benchmem -benchtime 1s ./internal/runtime/
 	$(GO) run ./cmd/lhws-bench -exp runtime
 
-# bench-io regenerates the real-socket echo record (BENCH_io.json): the
-# latency-hiding server must sustain >= 3x the blocking throughput at
-# C=64 connections and δ=50ms, with the bridge pool O(P) (see
-# EXPERIMENTS.md "Real-socket I/O").
+# bench-io regenerates the real-socket record (BENCH_io.json): the echo
+# comparison (latency-hiding server >= 3x blocking throughput at C=64,
+# δ=50ms, bridge pool O(P)) plus the data-plane throughput sweep (pooled
+# read path allocation-free at steady state, vectored writes >= 1.15x
+# scalar by median paired ratio at C=4096; see EXPERIMENTS.md
+# "Real-socket I/O" and "I/O data-plane throughput").
 bench-io:
 	$(GO) run ./cmd/lhws-bench -exp io
+
+# bench-io-smoke is the CI form of the data-plane sweep, run under both
+# socket backends: small load, structural gates only (pooled allocates
+# much less than malloc'd, vectoring does not collapse throughput), no
+# JSON — CI boxes are too noisy for the full-scale margins.
+bench-io-smoke:
+	$(GO) run ./cmd/lhws-bench -exp iothrough -iosmoke
+	$(GO) run -tags lhwsepoll ./cmd/lhws-bench -exp iothrough -iosmoke
 
 # bench-goodput regenerates the overload-robustness record
 # (BENCH_goodput.json): at 4x offered load the shedding server's
@@ -103,7 +113,7 @@ bench-smoke:
 	$(GO) test -run 'TestAllocs' -count=1 ./internal/runtime/
 
 # ci mirrors .github/workflows/ci.yml.
-ci: build lint vet test race chaos bench-smoke bench-goodput-smoke bench-steal-smoke
+ci: build lint vet test race chaos bench-smoke bench-io-smoke bench-goodput-smoke bench-steal-smoke
 
 figures:
 	$(GO) run ./cmd/lhws-bench -exp fig11 -svg figures

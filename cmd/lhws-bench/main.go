@@ -8,6 +8,7 @@
 //	lhws-bench -exp greedy|bound|lemmas|steals|uwidth|wallclock|all
 //	lhws-bench -exp runtime [-out BENCH_runtime.json]
 //	lhws-bench -exp io [-ioout BENCH_io.json]
+//	lhws-bench -exp iothrough [-iosmoke]
 //
 // Output is a fixed-width table per experiment plus a PASS/FAIL line for
 // the experiment's shape check. -markdown switches tables to Markdown for
@@ -15,7 +16,11 @@
 // microbenchmark sweep (ns/op, allocs/op, baseline deltas) as JSON to
 // -out, the checked-in regression baseline; -exp io writes the
 // real-socket echo comparison (latency-hiding vs blocking throughput at
-// δ=50ms) to -ioout likewise.
+// δ=50ms) plus the data-plane throughput sweep (pooled vs malloc'd
+// buffers, vectored vs scalar writes at C=4096) to -ioout as one
+// combined record. -exp iothrough runs just the data-plane sweep
+// without touching the JSON; -iosmoke shrinks it to CI smoke scale
+// with loose no-collapse gates.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	goruntime "runtime"
+	"runtime/pprof"
 	"time"
 
 	"lhws/internal/experiments"
@@ -39,7 +45,7 @@ type tabler interface {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig11, greedy, bound, lemmas, steals, variants, potential, uwidth, wallclock, responsiveness, multiprog, scale, runtime, io, goodput, steal, all")
+		exp        = flag.String("exp", "all", "experiment: fig11, greedy, bound, lemmas, steals, variants, potential, uwidth, wallclock, responsiveness, multiprog, scale, runtime, io, iothrough, goodput, steal, all")
 		deltaMS    = flag.Float64("delta", 0, "fig11 panel latency in ms (500, 50, 1); 0 runs all three panels")
 		full       = flag.Bool("full", false, "fig11 at the paper's full scale (n=5000) instead of the laptop scale (n=500)")
 		seed       = flag.Uint64("seed", 1, "random seed")
@@ -47,12 +53,17 @@ func main() {
 		svgDir     = flag.String("svg", "", "directory to write Figure-11 panels as SVG plots (fig11 only)")
 		jsonOut    = flag.String("out", "BENCH_runtime.json", "output path for the -exp runtime JSON sweep")
 		jsonOutIO  = flag.String("ioout", "BENCH_io.json", "output path for the -exp io JSON comparison")
+		ioSmoke    = flag.Bool("iosmoke", false, "iothrough at CI smoke scale (small load, no-collapse gates only, no JSON)")
 		goodOut    = flag.String("goodout", "BENCH_goodput.json", "output path for the -exp goodput JSON sweep")
 		goodSmoke  = flag.Bool("goodsmoke", false, "goodput at CI smoke scale (tiny load, no-collapse gate only, no JSON)")
 		stealOut   = flag.String("stealout", "BENCH_steal.json", "output path for the -exp steal JSON sweep")
 		stealSmoke = flag.Bool("stealsmoke", false, "steal economics at CI smoke scale (ratio gates only, no JSON)")
+		memProf    = flag.String("memprofile", "", "write an allocation profile for the run to this file (for chasing allocs/req regressions)")
 	)
 	flag.Parse()
+	if *memProf != "" {
+		goruntime.MemProfileRate = 16 // sample nearly every allocation
+	}
 
 	if goruntime.GOMAXPROCS(0) < 4 {
 		goruntime.GOMAXPROCS(4) // let runtime workers interleave for -exp wallclock
@@ -160,16 +171,33 @@ func main() {
 	}
 
 	if want("io") {
+		rec := &ioRecord{}
 		run("real-socket echo (latency hiding vs blocking, δ=50ms)", func() (tabler, error) {
 			r, err := experiments.IOBench(experiments.ScaledIOBench())
-			if err == nil {
-				if werr := writeIOJSON(*jsonOutIO, r); werr != nil {
-					fmt.Fprintf(os.Stderr, "json: %v\n", werr)
-					ok = false
-				}
-			}
+			rec.Echo = r
 			return r, err
 		})
+		run("io data plane (pooled/vectored throughput, C=4096)", func() (tabler, error) {
+			r, err := experiments.IOThroughput(experiments.ScaledIOThroughput())
+			rec.Throughput = r
+			return r, err
+		})
+		if rec.Echo != nil && rec.Throughput != nil {
+			if werr := writeIOJSON(*jsonOutIO, rec); werr != nil {
+				fmt.Fprintf(os.Stderr, "json: %v\n", werr)
+				ok = false
+			}
+		}
+	}
+
+	if *exp == "iothrough" {
+		cfg := experiments.ScaledIOThroughput()
+		label := "io data plane (pooled/vectored throughput, C=4096)"
+		if *ioSmoke {
+			cfg = experiments.SmokeIOThroughput()
+			label = "io data plane (smoke)"
+		}
+		run(label, func() (tabler, error) { return experiments.IOThroughput(cfg) })
 	}
 
 	if want("goodput") {
@@ -211,6 +239,17 @@ func main() {
 		})
 	}
 
+	if *memProf != "" {
+		if f, err := os.Create(*memProf); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		} else {
+			goruntime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}
 	if !ok {
 		os.Exit(1)
 	}
@@ -244,8 +283,17 @@ func writeGoodputJSON(path string, r *experiments.GoodputResult) error {
 	return nil
 }
 
-// writeIOJSON writes the echo comparison as the BENCH_io.json record.
-func writeIOJSON(path string, r *experiments.IOBenchResult) error {
+// ioRecord is the combined BENCH_io.json payload: the scheduling
+// comparison (echo, latency hiding vs blocking) and the data-plane
+// throughput sweep (pooled vs malloc'd buffers, vectored vs scalar
+// writes).
+type ioRecord struct {
+	Echo       *experiments.IOBenchResult      `json:"echo"`
+	Throughput *experiments.IOThroughputResult `json:"throughput"`
+}
+
+// writeIOJSON writes the combined io record as BENCH_io.json.
+func writeIOJSON(path string, r *ioRecord) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err

@@ -89,6 +89,7 @@ type tally struct {
 	timedOut atomic.Int64
 	rejected atomic.Int64
 	shed     atomic.Int64
+	sent     atomic.Int64 // reply bytes flushed to clients
 }
 
 // serveConn answers the single request carried by cn: read x, take the
@@ -113,15 +114,25 @@ func serveConn(h *lhws.Ctx, cn *lhws.IOConn, ctl *lhws.AdmitController,
 	x := int(binary.BigEndian.Uint32(req[:]))
 	slow := slowEvery > 0 && x%slowEvery == slowEvery-1
 
+	// Replies go out vectored: the status byte and the value field are
+	// queued as separate fragments and flushed as one writev, the same
+	// frame-assembly shape a real server uses for header + body.
 	var reply [replyBytes]byte
+	sendReply := func() {
+		cn.QueueWrite(reply[:1])
+		cn.QueueWrite(reply[1:])
+		n, werr := cn.Flush(h)
+		if werr != nil {
+			log.Fatalf("write reply %d: %v", x, werr)
+		}
+		tl.sent.Add(int64(n))
+	}
 	tk, aerr := ctl.Admit(h)
 	if aerr != nil {
-		// Reject fast: one byte of work instead of a blown deadline.
+		// Reject fast: one frame of work instead of a blown deadline.
 		reply[0] = statusRejected
 		tl.rejected.Add(1)
-		if _, werr := cn.Write(h, reply[:]); werr != nil {
-			log.Fatalf("write reject %d: %v", x, werr)
-		}
+		sendReply()
 		return
 	}
 	defer tk.Done()
@@ -151,9 +162,7 @@ func serveConn(h *lhws.Ctx, cn *lhws.IOConn, ctl *lhws.AdmitController,
 	default:
 		log.Fatalf("request %d: unexpected error: %v", x, err)
 	}
-	if _, werr := cn.Write(h, reply[:]); werr != nil {
-		log.Fatalf("write reply %d: %v", x, werr)
-	}
+	sendReply()
 }
 
 // serve is Figure 10 with a real socket as the input stream: accept a
@@ -265,6 +274,8 @@ func main() {
 			OnSteal: func(ev lhws.StealEvent) {
 				slog.Record(ev.Thief, ev.Victim, ev.Items, ev.Local)
 			}}
+		var ms0 goruntime.MemStats
+		goruntime.ReadMemStats(&ms0)
 		st, err := lhws.RunTasks(cfg, func(c *lhws.Ctx) {
 			l, lerr := lhws.IOListen(c, "tcp", "127.0.0.1:0")
 			if lerr != nil {
@@ -287,6 +298,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		var ms1 goruntime.MemStats
+		goruntime.ReadMemStats(&ms1)
 		wg.Wait()
 
 		ok, timedOut := tl.ok.Load(), tl.timedOut.Load()
@@ -294,6 +307,9 @@ func main() {
 		fmt.Printf("%-15s wall %-10v ok %-3d timeout %-3d rejected %-3d shed %-3d late %-3d target-cancels %-3d sum %d\n",
 			mode.String()+":", st.Wall.Round(time.Millisecond), ok, timedOut, rejected, shed,
 			st.TasksLate, st.TargetCancels, tl.sum.Load())
+		fmt.Printf("%-15s data plane: %.1f KB/s out (vectored replies), %.0f allocs/req\n",
+			"", float64(tl.sent.Load())/st.Wall.Seconds()/1024,
+			float64(ms1.Mallocs-ms0.Mallocs)/float64(*requests))
 		fmt.Printf("%-15s drain: completed %d, canceled %d, remaining %d in %v\n",
 			"", drain.Completed, drain.Canceled, drain.Remaining, drain.Waited.Round(time.Millisecond))
 		if tot := slog.Total(); tot.Steals > 0 {

@@ -25,6 +25,14 @@
 //     d.top or d.claim directly would bypass the memory-ordering
 //     protocol of PushBottom/PopTop/PopTopBatch.
 //
+//  4. The same declaring-type-only rule guards the buffer pool's
+//     reference count (lhws/internal/bufpool's Buf.refs): pooled
+//     buffers cross the cancel window between tasks and bridge
+//     goroutines, and a refcount touched outside Retain/Release races
+//     recycling — the classic use-after-recycle. Hot-path code is free
+//     to CALL Retain/Release (they are lock-free); only raw field
+//     manipulation is flagged.
+//
 // The thief-side methods (PopTop, PopTopBatch) need no owner
 // declaration: any worker may steal, single items or batches alike.
 // Only the bottom end is single-owner.
@@ -37,19 +45,32 @@ import (
 	"lhws/internal/analysis"
 )
 
-// DequePath is the package whose deques this analyzer guards.
-const DequePath = "lhws/internal/deque"
+// DequePath is the package whose deques this analyzer guards;
+// BufPoolPath's refcounted buffers get the same declaring-type-only
+// field protection.
+const (
+	DequePath   = "lhws/internal/deque"
+	BufPoolPath = "lhws/internal/bufpool"
+)
 
 var ownerMethods = map[string]bool{
 	"PushBottom": true,
 	"PopBottom":  true,
 }
 
-var orderingFields = map[string]bool{
-	"top":    true,
-	"bottom": true,
-	"array":  true,
-	"claim":  true,
+// guardedFields maps package path → protocol-critical fields that only
+// methods (or constructors) of the declaring type may touch, and the
+// protocol a stray access would bypass.
+var guardedFields = map[string]map[string]string{
+	DequePath: {
+		"top":    "the Chase-Lev publication protocol",
+		"bottom": "the Chase-Lev publication protocol",
+		"array":  "the Chase-Lev publication protocol",
+		"claim":  "the Chase-Lev publication protocol",
+	},
+	BufPoolPath: {
+		"refs": "the Retain/Release lifecycle (racing buffer recycling)",
+	},
 }
 
 var Analyzer = &analysis.Analyzer{
@@ -145,15 +166,20 @@ func (w *walker) checkCall(call *ast.CallExpr) {
 		"owner-only deque method %s called in %s, which does not declare the owner role (add an //lhws:owner directive stating why the caller owns the deque)", fn.Name(), name)
 }
 
-// checkFieldAccess flags direct access to the deque ordering fields
-// outside methods or constructors of the declaring type.
+// checkFieldAccess flags direct access to protocol-guarded fields
+// (deque ordering words, buffer refcounts) outside methods or
+// constructors of the declaring type.
 func (w *walker) checkFieldAccess(sel *ast.SelectorExpr) {
 	selection, ok := w.pass.TypesInfo.Selections[sel]
 	if !ok || selection.Kind() != types.FieldVal {
 		return
 	}
 	field, ok := selection.Obj().(*types.Var)
-	if !ok || field.Pkg() == nil || field.Pkg().Path() != DequePath || !orderingFields[field.Name()] {
+	if !ok || field.Pkg() == nil {
+		return
+	}
+	protocol, guarded := guardedFields[field.Pkg().Path()][field.Name()]
+	if !guarded {
 		return
 	}
 	owner := analysis.ReceiverNamed(selection.Recv())
@@ -178,5 +204,5 @@ func (w *walker) checkFieldAccess(sel *ast.SelectorExpr) {
 		return
 	}
 	w.pass.Reportf(sel.Pos(),
-		"direct access to deque ordering field %s.%s outside the type's methods bypasses the Chase-Lev publication protocol", owner.Obj().Name(), field.Name())
+		"direct access to guarded field %s.%s outside the type's methods bypasses %s", owner.Obj().Name(), field.Name(), protocol)
 }

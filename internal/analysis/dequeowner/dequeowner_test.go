@@ -9,5 +9,6 @@ import (
 
 func TestDequeOwner(t *testing.T) {
 	td := analysistest.TestData(t)
-	analysistest.Run(t, td, dequeowner.Analyzer, "lhws/a", "lhws/b", "lhws/internal/deque")
+	analysistest.Run(t, td, dequeowner.Analyzer, "lhws/a", "lhws/b", "lhws/c",
+		"lhws/internal/deque", "lhws/internal/bufpool")
 }

@@ -1,0 +1,33 @@
+// Package bufpool is a fixture standing in for the real
+// lhws/internal/bufpool: same import path in the GOPATH fixture tree,
+// same guarded refcount field, no dependencies.
+package bufpool
+
+type Buf struct {
+	b    []byte
+	refs int32
+}
+
+// Get is a constructor: initializing the refcount here is allowed
+// because the buffer is not yet shared.
+func Get(n int) *Buf {
+	pb := &Buf{b: make([]byte, n)}
+	pb.refs = 1
+	return pb
+}
+
+func (pb *Buf) Bytes() []byte { return pb.b }
+
+// Methods of the declaring type own the lifecycle protocol.
+func (pb *Buf) Retain() { pb.refs++ }
+
+func (pb *Buf) Release() bool {
+	pb.refs--
+	return pb.refs == 0
+}
+
+// leak is a rogue in-package helper: pinning a buffer by writing the
+// refcount directly bypasses Retain/Release.
+func leak(pb *Buf) {
+	pb.refs = 1 << 30 // want `direct access to guarded field Buf\.refs`
+}

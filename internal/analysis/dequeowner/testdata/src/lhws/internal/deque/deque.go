@@ -58,7 +58,7 @@ func (d *ChaseLev) PopTopBatch(dst []Item, max int) int {
 // reset is a rogue in-package helper: it manipulates the ordering
 // fields without going through the publication protocol.
 func reset(d *ChaseLev) {
-	d.top = 0    // want `direct access to deque ordering field ChaseLev\.top`
-	d.bottom = 0 // want `direct access to deque ordering field ChaseLev\.bottom`
-	d.claim = 0  // want `direct access to deque ordering field ChaseLev\.claim`
+	d.top = 0    // want `direct access to guarded field ChaseLev\.top`
+	d.bottom = 0 // want `direct access to guarded field ChaseLev\.bottom`
+	d.claim = 0  // want `direct access to guarded field ChaseLev\.claim`
 }

@@ -52,7 +52,10 @@ var maySuspendLeaves = map[string]string{
 	RuntimePath + "..forRange":            "joins its iteration tasks",
 	RuntimePath + "..MapReduce":           "joins its iteration tasks",
 	IOPath + ".Conn.Read":                 "suspends until the socket is readable",
+	IOPath + ".Conn.ReadBuf":              "suspends until the socket is readable",
 	IOPath + ".Conn.Write":                "suspends until the socket is writable",
+	IOPath + ".Conn.Writev":               "suspends until the vectored write completes",
+	IOPath + ".Conn.Flush":                "suspends until the queued writes are flushed",
 	IOPath + ".Listener.Accept":           "suspends until a connection arrives",
 	IOPath + "..Dial":                     "suspends until the connection is established",
 	IOPath + "..Listen":                   "suspends while binding the listener",

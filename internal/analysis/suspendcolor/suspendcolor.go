@@ -17,10 +17,10 @@
 //   - ExternalOp implementations (Arm, CancelExternal): the runtime
 //     invokes them from completion and cancellation goroutines, and
 //     the interface contract says they must not block or suspend;
-//   - readiness-notifier backends (the io package's notifier
-//     interface) and timer-wheel callbacks (functions passed to
-//     timerwheel.AfterFunc), which run on the poller and wheel
-//     goroutines.
+//   - I/O submission backends (the io package's backend interface)
+//     and timer-wheel callbacks (functions passed to
+//     timerwheel.AfterFunc or AfterFuncT), which run on the
+//     bridge/poller and wheel goroutines.
 //
 // The may-suspend set is seeded by the runtime's heavy-edge entry
 // points (see internal/analysis/facts) and propagated over the
@@ -97,9 +97,11 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 
-	// Readiness-notifier backends (io's unexported notifier interface,
-	// visible when analyzing the io package itself).
-	if iface := lookupInterface(pass.Pkg, pass.Pkg.Path(), "notifier"); iface != nil {
+	// I/O submission backends (io's unexported backend interface,
+	// visible when analyzing the io package itself). Backend methods run
+	// on bridge and poller goroutines — scheduler-side code that must
+	// never suspend into the runtime it is feeding.
+	if iface := lookupInterface(pass.Pkg, pass.Pkg.Path(), "backend"); iface != nil {
 		names := make(map[string]bool)
 		for i := 0; i < iface.NumMethods(); i++ {
 			names[iface.Method(i).Name()] = true
@@ -107,12 +109,13 @@ func run(pass *analysis.Pass) error {
 		for fn, fd := range decls {
 			if recv := fn.Signature().Recv(); recv != nil && names[fn.Name()] &&
 				types.Implements(recv.Type(), iface) {
-				add(fd, "a readiness-notifier callback (runs on the poller goroutine)")
+				add(fd, "an io backend method (runs on bridge/poller goroutines)")
 			}
 		}
 	}
 
-	// Timer-wheel callbacks: functions passed to timerwheel.AfterFunc.
+	// Timer-wheel callbacks: functions passed to timerwheel.AfterFunc or
+	// AfterFuncT (the timer-carrying variant the io deadline path uses).
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(x ast.Node) bool {
 			call, ok := x.(*ast.CallExpr)
@@ -120,7 +123,7 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			fn := analysis.Callee(pass.TypesInfo, call)
-			if fn == nil || fn.Name() != "AfterFunc" || fn.Pkg() == nil ||
+			if fn == nil || (fn.Name() != "AfterFunc" && fn.Name() != "AfterFuncT") || fn.Pkg() == nil ||
 				fn.Pkg().Path() != "lhws/internal/timerwheel" || len(call.Args) < 2 {
 				return true
 			}

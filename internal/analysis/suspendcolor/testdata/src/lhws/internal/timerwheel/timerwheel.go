@@ -9,3 +9,6 @@ type Wheel struct{}
 
 // AfterFunc registers f to run on the wheel goroutine.
 func (w *Wheel) AfterFunc(d time.Duration, f func(any), arg any) *Timer { return nil }
+
+// AfterFuncT registers the Timer-carrying callback variant.
+func (w *Wheel) AfterFuncT(d time.Duration, f func(*Timer, any), arg any) *Timer { return nil }

@@ -88,21 +88,21 @@ func (o extOp) Arm(h runtime.ExternalHandle) {
 
 func (o extOp) CancelExternal(h runtime.ExternalHandle, cause error) {}
 
-// notifier mirrors the io package's readiness-backend interface; its
-// implementations run on the poller goroutine.
-type notifier interface {
+// backend mirrors the io package's submission-backend interface; its
+// implementations run on bridge and poller goroutines.
+type backend interface {
 	park() bool
 	close()
 }
 
-type backend struct{}
+type epollish struct{}
 
-func (b *backend) park() bool {
-	helper(nil) // want `call may suspend the task inside a readiness-notifier callback`
+func (b *epollish) park() bool {
+	helper(nil) // want `call may suspend the task inside an io backend method`
 	return true
 }
 
-func (b *backend) close() {}
+func (b *epollish) close() {}
 
 // fired is registered as a timer-wheel callback below; it runs on the
 // wheel goroutine.
@@ -110,12 +110,18 @@ func fired(arg any) {
 	helper(nil) // want `call may suspend the task inside a timer-wheel callback`
 }
 
+// firedT is the Timer-carrying variant registered via AfterFuncT.
+func firedT(t *timerwheel.Timer, arg any) {
+	helper(nil) // want `call may suspend the task inside a timer-wheel callback`
+}
+
 func arm(w *timerwheel.Wheel) *timerwheel.Timer {
+	w.AfterFuncT(0, firedT, nil)
 	return w.AfterFunc(0, fired, nil)
 }
 
 var (
 	_ = extOp{}
-	_ = &backend{}
-	_ notifier
+	_ = &epollish{}
+	_ backend
 )

@@ -1,0 +1,150 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassSelection(t *testing.T) {
+	cases := []struct {
+		n    int
+		cap_ int
+	}{
+		{1, 512},
+		{512, 512},
+		{513, 4 << 10},
+		{4 << 10, 4 << 10},
+		{4<<10 + 1, 64 << 10},
+		{64 << 10, 64 << 10},
+		{64<<10 + 1, 1 << 20},
+		{1 << 20, 1 << 20},
+	}
+	for _, c := range cases {
+		pb := Get(c.n)
+		if pb.Len() != c.n {
+			t.Fatalf("Get(%d): len %d", c.n, pb.Len())
+		}
+		if pb.Cap() != c.cap_ {
+			t.Fatalf("Get(%d): cap %d, want class size %d", c.n, pb.Cap(), c.cap_)
+		}
+		pb.Release()
+	}
+}
+
+func TestOversizeIsGCOwned(t *testing.T) {
+	pb := Get(MaxPooled + 1)
+	if pb.Len() != MaxPooled+1 {
+		t.Fatalf("len %d", pb.Len())
+	}
+	if pb.class >= 0 {
+		t.Fatalf("oversize buffer got class %d, want GC-owned", pb.class)
+	}
+	if !pb.Release() {
+		t.Fatal("sole holder's Release reported non-final")
+	}
+}
+
+func TestRecycleReuse(t *testing.T) {
+	// A released buffer should come back from the pool: same backing
+	// array, full requested length. sync.Pool gives no hard guarantee,
+	// but with no GC pressure in between the round-trip is reliable.
+	pb := Get(100)
+	p0 := &pb.Bytes()[0]
+	pb.SetLen(3)
+	pb.Release()
+	pb2 := Get(200)
+	if pb2.Len() != 200 {
+		t.Fatalf("recycled Get len %d, want 200", pb2.Len())
+	}
+	if &pb2.Bytes()[0] != p0 {
+		t.Log("recycled Get returned a different backing array (pool drop; allowed)")
+	}
+	pb2.Release()
+}
+
+func TestRetainRelease(t *testing.T) {
+	pb := Get(64)
+	pb.Retain()
+	if pb.Release() {
+		t.Fatal("first of two releases reported final")
+	}
+	if !pb.Release() {
+		t.Fatal("last release did not report final")
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	pb := Get(MaxPooled + 1) // oversize: no pool interference with refs
+	pb.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	pb.Release()
+}
+
+func TestRetainAfterReleasePanics(t *testing.T) {
+	pb := Get(MaxPooled + 1)
+	pb.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retain after final Release did not panic")
+		}
+	}()
+	pb.Retain()
+}
+
+func TestSetLenBounds(t *testing.T) {
+	pb := Get(10)
+	defer pb.Release()
+	pb.SetLen(512) // up to class capacity is fine
+	pb.SetLen(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetLen beyond capacity did not panic")
+		}
+	}()
+	pb.SetLen(513)
+}
+
+func TestSteadyStateAllocFree(t *testing.T) {
+	// Warm the class, then gate: a Get/Release cycle must not allocate.
+	for i := 0; i < 8; i++ {
+		Get(4096).Release()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		pb := Get(4096)
+		pb.Bytes()[0] = 1
+		pb.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/Release allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	// Hammer the pool from many goroutines; -race validates the
+	// refcount discipline and that no buffer is visible to two owners.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				pb := Get(1 << (uint(i%8) + 4))
+				b := pb.Bytes()
+				b[0], b[len(b)-1] = seed, seed
+				if i%3 == 0 {
+					pb.Retain()
+					if b[0] != seed || b[len(b)-1] != seed {
+						panic("buffer visible to another owner")
+					}
+					pb.Release()
+				}
+				pb.Release()
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+}

@@ -1,0 +1,89 @@
+package io
+
+import "time"
+
+// backend is the dispatcher's readiness engine: the strategy for what
+// happens to an operation that attempted its socket and found it not
+// ready. The interface is deliberately batch-shaped — a bridge submits
+// every not-ready op from its attempt round in ONE parkBatch call, and
+// a backend delivers every op a readiness sweep woke in ONE
+// enqueueBatch call — so that a backend which can amortize submission
+// cost over many ops (epoll re-arms under a single table-lock hold
+// today; an io_uring-style backend would put many SQEs per syscall)
+// pays its fixed costs once per batch, not once per op. Completion
+// batching then composes downstream for free: ops a backend wakes
+// together are attempted back-to-back by one bridge, their completions
+// land in the same runtime drain window, and the resumed tasks enter
+// the scheduler as a single pfor-tree deque item (see DESIGN.md §13
+// for the full contract).
+//
+// Contract:
+//
+//   - parkBatch owns the park claim protocol. For each req it either
+//     takes the op (op.parked set true, registered for readiness; the
+//     backend — or whoever wins the op's parked-CAS — re-enqueues it
+//     exactly once when its fd fires or a cancel/kick/close unparks
+//     it), or returns the op in the rotate list for the caller to
+//     re-enqueue. An op must end up in exactly one of those states;
+//     "taken by a concurrent cancel that stole the claim mid-park"
+//     counts as taken, NOT as rotate — returning it would let two
+//     bridges race one op into use-after-recycle.
+//   - parkBatch appends to rotate and returns it so callers can reuse
+//     one scratch slice across rounds.
+//   - batchHint is how many queued ops a bridge should grab per attempt
+//     round: 1 for rotation (each not-ready attempt blocks a full
+//     slice, so batching would serialize those waits), larger for
+//     readiness backends (ops they enqueue are ready and complete on
+//     the first attempt, so a batch costs one queue-lock acquisition
+//     instead of N).
+//   - attemptSlice is the per-attempt socket deadline: the rotation
+//     latency floor for the portable backend, merely the park threshold
+//     for readiness backends (which can afford a much shorter
+//     speculation window — a not-ready op parks and the poller wakes it
+//     the moment the fd fires).
+//   - close releases backend resources. The dispatcher calls it after
+//     every bridge has been joined, so no parkBatch call is in flight.
+type backend interface {
+	name() string
+	batchHint() int
+	attemptSlice() time.Duration
+	parkBatch(reqs []parkReq, rotate []*ioOp) []*ioOp
+	close()
+}
+
+// parkReq is one not-ready op submitted to the backend, with the raw
+// fd access needed to register it. kind and cn snapshot the op's
+// task-side fields while the bridge still owns it exclusively: the
+// moment parkBatch publishes the op (op.parked set true) a concurrent
+// kick can steal the claim, complete the op, and recycle it into a new
+// life whose owner rewrites those fields without op.mu — so the backend
+// must read them from the req, never from the op. fd and registered are
+// backend scratch, valid only within a parkBatch call.
+type parkReq struct {
+	op   *ioOp
+	rc   parkable
+	kind opKind
+	cn   *Conn // nil for accept ops
+
+	fd         int32
+	registered bool
+}
+
+// rotateBackend is the portable strategy: no readiness facility at all.
+// Not-ready ops go straight back to the bridge queue and retry on
+// deadline slices; C pending ops share cap bridges, each blocked at
+// most one slice per attempt (see the dispatcher comment in
+// dispatch.go).
+type rotateBackend struct{}
+
+func (rotateBackend) name() string                { return "rotate" }
+func (rotateBackend) batchHint() int              { return 1 }
+func (rotateBackend) attemptSlice() time.Duration { return pollSlice }
+func (rotateBackend) close()                      {}
+
+func (rotateBackend) parkBatch(reqs []parkReq, rotate []*ioOp) []*ioOp {
+	for i := range reqs {
+		rotate = append(rotate, reqs[i].op)
+	}
+	return rotate
+}

@@ -1,0 +1,342 @@
+//go:build linux && lhwsepoll
+
+package io
+
+import (
+	"sync"
+	"syscall"
+	"time"
+)
+
+// The epoll backend: instead of rotating not-ready operations through
+// the bridge queue on deadline slices, a single poller goroutine parks
+// them on an epoll instance and re-enqueues each op the moment its fd
+// becomes ready. Bridges then attempt the op with data (or a
+// connection) already waiting, so the attempt completes on its first
+// slice.
+//
+// Both directions of the backend contract are batched. Submission: a
+// bridge's parkBatch registers every not-ready op from its attempt
+// round under ONE table-lock hold — the per-op work inside is just an
+// epoll_ctl — and the post-registration cancel re-checks run after the
+// lock drops. Completion: one epoll_wait sweep translates every fired
+// fd back to its ops and hands the whole set to the dispatcher in ONE
+// enqueueBatch call, so they take the queue lock once, get attempted
+// back-to-back by bridges, and their task resumptions land in the same
+// runtime drain (one pfor-tree deque item for the batch).
+//
+// Registrations are one-shot (EPOLLONESHOT): an op parks, its fd fires
+// at most once, and the next park re-arms. The fd table maps fd to a
+// pair of direction slots (a conn's reader and writer may both park on
+// the same fd; registration unions their interests, and a fire for one
+// direction re-arms the other). The table tolerates staleness —
+// readiness delivery is spurious-tolerant by design (a falsely unparked
+// op merely attempts, finds nothing, and parks again), so a stale slot
+// can at worst cause one extra rotation, never a correctness failure.
+// Cancellation does not need the poller at all: CancelExternal CASes
+// the op out of its parked state and re-enqueues it directly (see
+// ioOp.CancelExternal). Closing a socket is the one readiness event
+// epoll will NOT deliver — the kernel silently drops a closed fd from
+// the interest set — so Conn.Close/Listener.Close unpark their
+// registered ops themselves (see unparkForClose). The close protocol
+// leans on rc.Control running per park: once a conn's Close has
+// returned, every subsequent Control errors, so a closed (possibly
+// kernel-reused) fd can never be registered and clobber a live conn's
+// table slot.
+//
+// One outstanding parked op per fd direction is assumed, which the
+// Conn/Listener concurrency contract (one reader, one writer, one
+// acceptor) guarantees.
+
+// epollSlice is the epoll backend's attempt deadline. Far shorter than
+// the rotation slice: here a timeout is not a retry penalty but the
+// park threshold, and a parked op wakes the moment its fd fires — so
+// the speculation window only needs to cover the "data already in the
+// socket buffer" case, not mask rotation latency. Keeping it short also
+// bounds the serialization a batched attempt round can suffer when
+// several fresh (readiness-unknown) ops land in one batch.
+const epollSlice = 500 * time.Microsecond
+
+// epollBatchHint is how many queued ops a bridge grabs per round under
+// this backend. Ops the poller enqueues are ready and complete on their
+// first attempt, so a batch costs one queue-lock hold and one parkBatch
+// instead of N; the worst case — a batch full of fresh not-ready ops,
+// each blocking a full epollSlice before parking — stays bounded at
+// hint*epollSlice = 4ms.
+const epollBatchHint = 8
+
+// newBackend starts the epoll poller. If epoll setup fails (exotic
+// kernels, locked-down sandboxes) it falls back to rotation.
+func newBackend(d *dispatcher) backend {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return rotateBackend{}
+	}
+	var pipe [2]int
+	if err := syscall.Pipe2(pipe[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return rotateBackend{}
+	}
+	n := &epollBackend{d: d, epfd: epfd, wakeR: pipe[0], wakeW: pipe[1], ops: make(map[int32]*fdEntry)}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(pipe[0])}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, pipe[0], &ev); err != nil {
+		syscall.Close(epfd)
+		syscall.Close(pipe[0])
+		syscall.Close(pipe[1])
+		return rotateBackend{}
+	}
+	n.wg.Add(1)
+	go n.poll()
+	return n
+}
+
+type epollBackend struct {
+	d     *dispatcher
+	epfd  int
+	wakeR int // shutdown pipe, read end (registered in the epoll set)
+	wakeW int
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	ops    map[int32]*fdEntry
+	closed bool
+}
+
+func (n *epollBackend) name() string                { return "epoll" }
+func (n *epollBackend) batchHint() int              { return epollBatchHint }
+func (n *epollBackend) attemptSlice() time.Duration { return epollSlice }
+
+// fdEntry holds the at-most-two ops parked on one fd: the read-interest
+// slot (reads and accepts) and the write-interest slot.
+type fdEntry struct {
+	rd *ioOp
+	wr *ioOp
+}
+
+const readinessIn = syscall.EPOLLIN | syscall.EPOLLRDHUP
+
+// interest computes the union epoll event mask for the entry's live
+// slots, always one-shot.
+func (e *fdEntry) interest() uint32 {
+	ev := uint32(syscall.EPOLLONESHOT)
+	if e.rd != nil {
+		ev |= readinessIn
+	}
+	if e.wr != nil {
+		ev |= syscall.EPOLLOUT
+	}
+	return ev
+}
+
+// parkBatch registers every req's fd for one readiness notification,
+// amortizing the table lock over the batch. Ops whose registration
+// failed (raw fd gone, backend shutting down) — and ops a concurrent
+// kick beat into the epoll set — are returned in rotate for the caller
+// to re-enqueue, per the backend contract.
+func (n *epollBackend) parkBatch(reqs []parkReq, rotate []*ioOp) []*ioOp {
+	// Phase 1, under one table-lock hold: claim and register each op.
+	// rc.Control still runs per op (that per-park probe is the close
+	// protocol: Control on a conn whose Close has returned always
+	// errors, so a closed/reused fd is never registered), but the lock,
+	// not being re-taken per op, is paid once for the batch.
+	n.mu.Lock()
+	for i := range reqs {
+		r := &reqs[i]
+		op := r.op
+		op.parked.Store(true)
+		r.registered = false
+		if n.closed {
+			continue
+		}
+		// r.kind, not op.kind: the Store above published the op, so a
+		// concurrent kick may already have stolen it, completed it, and
+		// recycled it into a new life that is rewriting its fields. From
+		// here on the backend touches only the req's snapshots, op.parked
+		// (atomic), and op.mu-protected flags (ordered against recycling
+		// by putOp's locked reset).
+		r.rc.Control(func(fd uintptr) {
+			e := n.ops[int32(fd)]
+			if e == nil {
+				e = &fdEntry{}
+				n.ops[int32(fd)] = e
+			}
+			if r.kind == opWrite || r.kind == opWritev {
+				e.wr = op
+			} else {
+				e.rd = op
+			}
+			if n.arm(int32(fd), e) != nil {
+				// Roll the slot back so a later park on the sibling
+				// direction does not resurrect interest in this op.
+				if r.kind == opWrite || r.kind == opWritev {
+					e.wr = nil
+				} else {
+					e.rd = nil
+				}
+				if e.rd == nil && e.wr == nil {
+					delete(n.ops, int32(fd))
+				}
+				return
+			}
+			r.registered = true
+			r.fd = int32(fd)
+		})
+	}
+	n.mu.Unlock()
+
+	// Phase 2, outside the table lock: settle each op's claim.
+	for i := range reqs {
+		r := &reqs[i]
+		op := r.op
+		if !r.registered {
+			// Registration failed: undo the park claim. If the undo CAS
+			// fails, a concurrent cancel or close already stole the claim
+			// AND re-enqueued the op — it is no longer ours, and rotating
+			// it would make a second bridge race the first into
+			// use-after-recycle. Leave it alone: rerouted either way.
+			if op.parked.CompareAndSwap(true, false) {
+				rotate = append(rotate, op)
+			}
+			continue
+		}
+		// Close the kick-vs-park window: a cancel, a per-op deadline
+		// expiry, or a predecessor's unread-stash kick (Conn.stashUnread)
+		// that ran after the attempt's checks but before the Store above
+		// found parked==false, so its unpark CAS missed and the op would
+		// sit in the epoll set waiting on an fd that may never fire.
+		// Re-check and unpark through the same claim protocol (exactly
+		// one of this CAS and any concurrent close's CAS wins, so the op
+		// is enqueued once).
+		// kind and cn come from the req's pre-publication snapshots (see
+		// parkReq); the mu-protected flags are safe to read even off a
+		// recycled shell because putOp resets them under the same lock —
+		// a stale read then sees the new life's (false) flags and the
+		// stale parked CAS below simply loses, which is the "taken by a
+		// concurrent cancel" contract case.
+		op.mu.Lock()
+		kicked := op.canceled || op.timedOut ||
+			(r.kind == opRead && r.cn != nil && r.cn.hasPending())
+		op.mu.Unlock()
+		if kicked && op.parked.CompareAndSwap(true, false) {
+			n.drop(r.fd, op)
+			rotate = append(rotate, op)
+		}
+	}
+	return rotate
+}
+
+// drop clears op's slot in the fd table after an unpark. Staleness is
+// tolerated by design, but there is no reason to leave a pointer to an
+// op that is about to complete and be recycled.
+func (n *epollBackend) drop(fd int32, op *ioOp) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e := n.ops[fd]
+	if e == nil {
+		return
+	}
+	if e.rd == op {
+		e.rd = nil
+	}
+	if e.wr == op {
+		e.wr = nil
+	}
+	if e.rd == nil && e.wr == nil {
+		delete(n.ops, fd)
+	}
+}
+
+// arm (re)registers fd with the union interest of e's slots. Caller
+// holds n.mu.
+func (n *epollBackend) arm(fd int32, e *fdEntry) error {
+	ev := syscall.EpollEvent{Events: e.interest(), Fd: fd}
+	if err := syscall.EpollCtl(n.epfd, syscall.EPOLL_CTL_MOD, int(fd), &ev); err != nil {
+		return syscall.EpollCtl(n.epfd, syscall.EPOLL_CTL_ADD, int(fd), &ev)
+	}
+	return nil
+}
+
+// poll is the single readiness goroutine: wait, translate fds back to
+// ops, unpark, and deliver the whole sweep to the dispatcher as one
+// batch — one queue-lock hold, and the resumed tasks ride one runtime
+// drain.
+//
+//lhws:nosuspend
+func (n *epollBackend) poll() {
+	defer n.wg.Done()
+	events := make([]syscall.EpollEvent, 128)
+	var ready []*ioOp
+	for {
+		nev, err := syscall.EpollWait(n.epfd, events, -1)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return
+		}
+		ready = ready[:0]
+		quit := false
+		n.mu.Lock()
+		for i := 0; i < nev; i++ {
+			fd := events[i].Fd
+			if int(fd) == n.wakeR {
+				quit = true
+				continue
+			}
+			got := events[i].Events
+			// Errors and hangups wake both directions.
+			errish := got&(syscall.EPOLLERR|syscall.EPOLLHUP) != 0
+			var rd, wr *ioOp
+			if e := n.ops[fd]; e != nil {
+				if got&readinessIn != 0 || errish {
+					rd, e.rd = e.rd, nil
+				}
+				if got&syscall.EPOLLOUT != 0 || errish {
+					wr, e.wr = e.wr, nil
+				}
+				if e.rd == nil && e.wr == nil {
+					delete(n.ops, fd)
+				} else {
+					// EPOLLONESHOT disarmed the whole fd; re-arm for the
+					// direction still parked. On failure fall back to the
+					// queue so the survivor is not stranded.
+					if n.arm(fd, e) != nil {
+						if e.rd != nil {
+							rd = e.rd
+						} else {
+							wr = e.wr
+						}
+						delete(n.ops, fd)
+					}
+				}
+			}
+			if rd != nil && rd.parked.CompareAndSwap(true, false) {
+				ready = append(ready, rd)
+			}
+			if wr != nil && wr.parked.CompareAndSwap(true, false) {
+				ready = append(ready, wr)
+			}
+		}
+		n.mu.Unlock()
+		if len(ready) > 0 {
+			n.d.enqueueBatch(ready)
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// close shuts the poller down and releases the epoll fd. Parked ops
+// need no draining here: the runtime cancels every task before the
+// dispatcher closes, and cancellation unparks directly.
+func (n *epollBackend) close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	syscall.Write(n.wakeW, []byte{1})
+	n.wg.Wait()
+	syscall.Close(n.epfd)
+	syscall.Close(n.wakeR)
+	syscall.Close(n.wakeW)
+}

@@ -1,0 +1,9 @@
+//go:build !linux || !lhwsepoll
+
+package io
+
+// newBackend selects the portable rotation backend in default builds:
+// not-ready operations retry through the bridge queue on short deadline
+// slices (see dispatch.go). Build with -tags lhwsepoll on Linux for the
+// epoll readiness backend (backend_epoll.go).
+func newBackend(d *dispatcher) backend { return rotateBackend{} }

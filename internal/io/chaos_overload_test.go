@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lhws/internal/admit"
+	"lhws/internal/bufpool"
 	"lhws/internal/faultpoint"
 	"lhws/internal/runtime"
 )
@@ -210,17 +211,32 @@ func TestChaosOverloadBurst(t *testing.T) {
 // every poison subtree with ErrTargetMissed — returning the workers to
 // the small requests, which must all be served — rather than letting
 // the poison monopolize the runtime.
+//
+// The poison requests are also physically huge: each carries a 64 KiB
+// body that the client stages in a pooled buffer and sends as one
+// vectored header+body write, and the server drains through the pooled
+// ReadBuf path before the subtree even starts. Running the data plane's
+// pooled/vectored machinery under fault injection (duplicated and
+// delayed completions) is the point — the byte-sum check below fails if
+// a pooled buffer is recycled while its bytes are still in flight.
 func TestChaosOverloadPoison(t *testing.T) {
 	const (
 		smalls  = 8
 		poisons = 3
+
+		poisonBody = 64 << 10
 	)
+	// Byte-sum of the 0,1,2,... pattern the client stages per request.
+	var wantBodySum int64
+	for i := 0; i < poisonBody; i++ {
+		wantBodySum += int64(byte(i))
+	}
 	for _, seed := range ioChaosSeeds {
 		inj := faultpoint.New(seed).Set(faultpoint.PollComplete,
 			faultpoint.Rule{Action: faultpoint.Dup, Rate: 0.3, Delay: time.Millisecond})
 		base := goruntime.NumGoroutine()
 		var served, shed, other atomic.Int64
-		var poisonTyped atomic.Int64
+		var poisonTyped, poisonBodiesOK atomic.Int64
 		cfg := ioChaosConfig(seed, inj)
 		cfg.ShedBlownTargets = true
 		st, err := runtime.Run(cfg, func(c *runtime.Ctx) {
@@ -243,6 +259,24 @@ func TestChaosOverloadPoison(t *testing.T) {
 							return
 						}
 						if req[0] == 'h' {
+							// Drain the huge body through the pooled read
+							// path first: every chunk arrives in a pool
+							// buffer, is summed, and goes straight back.
+							var bodySum int64
+							for got := 0; got < poisonBody; {
+								pb, rerr := cn.ReadBuf(hc, poisonBody-got)
+								if rerr != nil {
+									return
+								}
+								for _, b := range pb.Bytes() {
+									bodySum += int64(b)
+								}
+								got += pb.Len()
+								pb.Release()
+							}
+							if bodySum == wantBodySum {
+								poisonBodiesOK.Add(1)
+							}
 							// Poison: a wide subtree under an already-blown
 							// target whose tasks spin on suspensions forever.
 							// Only the steal gate can end it.
@@ -285,7 +319,23 @@ func TestChaosOverloadPoison(t *testing.T) {
 				}
 				defer cn.Close()
 				var reply [1]byte
-				if _, werr := cn.Write(cc, []byte{kind}); werr != nil {
+				if kind == 'h' {
+					// Stage the huge body in a pooled buffer and ship
+					// header+body as one vectored write.
+					pb := bufpool.Get(poisonBody)
+					body := pb.Bytes()
+					for i := range body {
+						body[i] = byte(i)
+					}
+					cn.QueueWrite([]byte{kind})
+					cn.QueueWrite(body)
+					_, werr := cn.Flush(cc)
+					pb.Release()
+					if werr != nil {
+						other.Add(1)
+						return
+					}
+				} else if _, werr := cn.Write(cc, []byte{kind}); werr != nil {
 					other.Add(1)
 					return
 				}
@@ -332,6 +382,10 @@ func TestChaosOverloadPoison(t *testing.T) {
 		if poisonTyped.Load() != poisons {
 			t.Fatalf("seed %d: %d/%d poison subtrees unwound with ErrTargetMissed",
 				seed, poisonTyped.Load(), poisons)
+		}
+		if poisonBodiesOK.Load() != poisons {
+			t.Fatalf("seed %d: %d/%d pooled poison bodies arrived intact",
+				seed, poisonBodiesOK.Load(), poisons)
 		}
 		if st.TargetCancels < 1 {
 			t.Fatalf("seed %d: TargetCancels = %d, want >= 1", seed, st.TargetCancels)

@@ -8,7 +8,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lhws/internal/bufpool"
 	"lhws/internal/runtime"
+	"lhws/internal/timerwheel"
 )
 
 // This file is the dispatcher: the per-Run engine that executes socket
@@ -18,30 +20,42 @@ import (
 // bridge-goroutine pool (O(P), capped, never O(connections)) performs
 // the actual syscalls and completes the ops.
 //
-// Portable readiness without epoll: Go exposes no non-blocking probe on
-// a net.Conn (a deadline is checked before the syscall), so a pending
-// operation cannot be tested for readiness — only attempted. The
-// dispatcher therefore rotates: a bridge attempts each queued operation
-// with a short deadline slice; an attempt that times out with no
-// progress re-enqueues the op at the back of the queue and the bridge
-// moves on. C pending reads thus share cap bridges, each blocked at most
-// one slice per attempt, and an op's wakeup latency is bounded by
-// C*slice/cap — far below the operation latencies latency hiding
+// What happens to a not-ready operation is the backend's decision (see
+// backend.go). The portable rotation backend retries it through the
+// queue: Go exposes no non-blocking probe on a net.Conn (a deadline is
+// checked before the syscall), so a pending operation cannot be tested
+// for readiness — only attempted. A bridge attempts each queued
+// operation with a short deadline slice; an attempt that times out with
+// no progress re-enqueues the op at the back of the queue and the
+// bridge moves on. C pending reads thus share cap bridges, each blocked
+// at most one slice per attempt, and an op's wakeup latency is bounded
+// by C*slice/cap — far below the operation latencies latency hiding
 // targets. Builds with the lhwsepoll tag replace rotation with true
-// readiness parking (see notify_epoll.go): a not-ready op registers its
-// fd with one epoll poller goroutine and leaves the queue entirely.
+// readiness parking (backend_epoll.go): a not-ready op registers its fd
+// with one epoll poller goroutine and leaves the queue entirely.
+//
+// Bridges work in batches sized by the backend's hint: grab up to hint
+// ops under one queue-lock hold, attempt each, then submit every
+// not-ready survivor in one backend parkBatch and every rotation in one
+// enqueueBatch. Completions batch symmetrically — ops the backend wakes
+// together are attempted back-to-back, so their task resumptions land
+// in the same runtime drain and re-enter the scheduler as one pfor-tree
+// deque item.
 //
 // Cancellation never waits for readiness: aborting a suspended I/O task
 // kicks the in-flight attempt by setting the socket's deadline into the
 // past, which interrupts a blocked Read/Write/Accept immediately. Every
 // attempt re-arms its own slice deadline first, so a stale kick poisons
-// nothing.
+// nothing. Per-op deadlines (Conn.SetOpTimeout) ride the run's shared
+// timer wheel and reuse the same kick: the expiry callback marks the op
+// timed out and interrupts it, and the attempt completes it with
+// ErrOpTimeout — an ordinary error return to the task, not an unwind.
 
 const (
-	// pollSlice is one rotation attempt's deadline. Small enough that a
-	// full rotation of a busy queue stays well under real I/O latencies;
-	// large enough that an almost-ready socket usually completes in one
-	// attempt.
+	// pollSlice is one rotation attempt's deadline (the portable
+	// backend's attemptSlice). Small enough that a full rotation of a
+	// busy queue stays well under real I/O latencies; large enough that
+	// an almost-ready socket usually completes in one attempt.
 	pollSlice = 2 * time.Millisecond
 )
 
@@ -51,6 +65,13 @@ const (
 // payload is read, or the payload lost the wake claim entirely.
 var errOpCanceled = errors.New("lhws/io: operation canceled")
 
+// errOpTimeout is the completion payload of an op whose per-op deadline
+// (Conn.SetOpTimeout) expired before the socket delivered. Unlike a
+// cancellation it is a normal completion: the task gets (progress,
+// ErrOpTimeout) back from Read/Write and decides what to do with the
+// connection itself.
+var errOpTimeout = errors.New("lhws/io: operation deadline exceeded")
+
 // aLongTimeAgo is the past deadline used to kick in-flight socket calls.
 var aLongTimeAgo = time.Unix(1, 0)
 
@@ -59,8 +80,22 @@ type opKind int8
 const (
 	opRead opKind = iota
 	opWrite
+	opWritev
 	opAccept
 	opDial
+)
+
+// attemptOutcome is what one bridge attempt did with its op.
+type attemptOutcome int8
+
+const (
+	// attemptDone: the op completed (or discarded) and is no longer the
+	// bridge's to route.
+	attemptDone attemptOutcome = iota
+	// attemptRotate: not ready and not parkable; re-enqueue.
+	attemptRotate
+	// attemptPark: not ready; submit to the backend's parkBatch.
+	attemptPark
 )
 
 // ioOp is one socket operation in flight between a task and the bridge
@@ -68,27 +103,43 @@ const (
 // bridge; accept and dial ops are owned by the task (it takes the
 // result connection out of the op after resuming) and die to the GC.
 //
-// mu serializes the three parties that can touch an op concurrently —
-// the arming task, the executing bridge, and a cancellation abort — and
-// h is the op's identity check: CancelExternal compares its handle
-// against op.h, so an abort that raced with completion (and possibly
-// with the op's recycling into a new life) detects staleness and leaves
-// the new life alone. The comparison is sound because the aborting scope
-// still holds a reference on its waiter, so the handle's waiter cannot
-// have been recycled while the abort runs.
+// mu serializes the parties that can touch an op concurrently — the
+// arming task, the executing bridge, a cancellation abort, and the
+// timer wheel's deadline callback — and h is the op's identity check:
+// CancelExternal compares its handle against op.h, so an abort that
+// raced with completion (and possibly with the op's recycling into a
+// new life) detects staleness and leaves the new life alone. The
+// comparison is sound because the aborting scope still holds a
+// reference on its waiter, so the handle's waiter cannot have been
+// recycled while the abort runs. The deadline callback's identity check
+// is op.dl: a fired timer that no longer matches belongs to a completed
+// (possibly recycled) life and is ignored.
 type ioOp struct {
 	mu       sync.Mutex
 	h        runtime.ExternalHandle // zeroed at completion; identity for cancel
 	kind     opKind
 	canceled bool
+	timedOut bool              // per-op deadline expired (Conn.SetOpTimeout)
+	dl       *timerwheel.Timer // armed per-op deadline; stopped at completion
 	// parked is set while the op is registered with the readiness
-	// notifier (epoll builds); whoever CASes it back re-enqueues the op.
+	// backend (epoll builds); whoever CASes it back re-enqueues the op.
 	parked atomic.Bool
 
 	cn  *Conn     // read / write
 	ln  *Listener // accept
 	buf []byte
 	off int // write progress across rotation attempts
+
+	// Pooled-read state: pb non-nil means buf is pb's payload and the op
+	// holds pb's reference until completion settles ownership (task on a
+	// won claim, the conn's unread stash on a lost claim with progress,
+	// the pool otherwise). See settleBuf.
+	pb *bufpool.Buf
+
+	// Vectored-write state (opWritev): vec is consumed front-to-front by
+	// writev attempts, voff accumulates bytes written across them.
+	vec  net.Buffers
+	voff int
 
 	// Dial / Accept result handoff. resMu (not mu) guards it because the
 	// task takes the result after the op's handle is already cleared.
@@ -128,7 +179,7 @@ func (op *ioOp) CancelExternal(h runtime.ExternalHandle, cause error) {
 	switch kind {
 	case opRead:
 		op.cn.nc.SetReadDeadline(aLongTimeAgo)
-	case opWrite:
+	case opWrite, opWritev:
 		op.cn.nc.SetWriteDeadline(aLongTimeAgo)
 	case opAccept:
 		if dl, ok := op.ln.nl.(deadliner); ok {
@@ -153,7 +204,7 @@ func (op *ioOp) CancelExternal(h runtime.ExternalHandle, cause error) {
 		op.resMu.Unlock()
 	}
 	if op.parked.CompareAndSwap(true, false) {
-		// The op sits in the readiness notifier, not the queue, and its
+		// The op sits in the readiness backend, not the queue, and its
 		// fd may never fire; route it back to a bridge to be completed.
 		// (If the CAS stole a recycled life's fresh park claim instead,
 		// the bridge simply retries that life's attempt — wasted work,
@@ -179,6 +230,38 @@ func (op *ioOp) kickRead(cn *Conn) {
 	}
 }
 
+// opDeadlineFired is the timer-wheel callback for a per-op deadline
+// (Conn.SetOpTimeout): mark the op timed out and kick it like a cancel
+// would, so the in-flight attempt returns promptly and completes with
+// ErrOpTimeout. Runs on the wheel goroutine. The op.dl identity check
+// makes a stale fire — the timer lost its Stop race and the op has
+// completed, possibly recycled and re-armed with a fresh timer — a
+// no-op: a fired timer that is not the op's current one belongs to a
+// finished life.
+//
+//lhws:nosuspend
+func opDeadlineFired(t *timerwheel.Timer, arg any) {
+	op := arg.(*ioOp)
+	op.mu.Lock()
+	if op.dl != t {
+		op.mu.Unlock()
+		return
+	}
+	op.dl = nil
+	op.timedOut = true
+	d := op.disp()
+	switch op.kind {
+	case opRead:
+		op.cn.nc.SetReadDeadline(aLongTimeAgo)
+	case opWrite, opWritev:
+		op.cn.nc.SetWriteDeadline(aLongTimeAgo)
+	}
+	op.mu.Unlock()
+	if op.parked.CompareAndSwap(true, false) {
+		d.enqueue(op)
+	}
+}
+
 func (op *ioOp) disp() *dispatcher {
 	switch op.kind {
 	case opAccept:
@@ -186,6 +269,26 @@ func (op *ioOp) disp() *dispatcher {
 	default:
 		return op.cn.d
 	}
+}
+
+// parkTarget is the raw-fd view the backend parks the op on. Read by
+// the bridge while it still owns the op (between an attemptPark outcome
+// and the parkBatch submission).
+func (op *ioOp) parkTarget() parkable {
+	switch op.kind {
+	case opAccept:
+		return op.ln.sc
+	default:
+		return op.cn.sc
+	}
+}
+
+// loadFlags snapshots the op's interrupt flags under mu.
+func (op *ioOp) loadFlags() (canceled, timedOut bool) {
+	op.mu.Lock()
+	c, t := op.canceled, op.timedOut
+	op.mu.Unlock()
+	return c, t
 }
 
 // deadliner is the subset of net listeners/conns that support kicking.
@@ -209,7 +312,14 @@ type dispatcher struct {
 	closed  bool
 	wg      sync.WaitGroup
 	ops     sync.Pool
-	notify  notifier // non-nil only in lhwsepoll builds
+
+	be    backend
+	slice time.Duration // be.attemptSlice(), cached off the hot path
+	// wheel is the run's shared timer wheel (runtime.Ctx.Wheel): per-op
+	// deadlines are O(1) list inserts there, and the runtime shuts it
+	// down before the dispatcher closes, so no deadline callback can
+	// fire into a closed dispatcher.
+	wheel *timerwheel.Wheel
 }
 
 type dispKey struct{}
@@ -226,7 +336,9 @@ func dispFor(c *runtime.Ctx) *dispatcher {
 		if d.cap < 8 {
 			d.cap = 8
 		}
-		d.notify = newNotifier(d)
+		d.wheel = c.Wheel()
+		d.be = newBackend(d)
+		d.slice = d.be.attemptSlice()
 		return d, d.close
 	}).(*dispatcher)
 }
@@ -241,9 +353,9 @@ func (d *dispatcher) getOp() *ioOp {
 func (d *dispatcher) putOp(op *ioOp) {
 	// The reset must hold op.mu: a parking bridge that lost its claim
 	// between epoll registration and its post-registration cancel
-	// re-check (notify_epoll.park) may still read op.canceled after a
-	// readiness-claimed completion recycles the op. The lock orders that
-	// late read against this reset; the reader's stale parked CAS is
+	// re-check (epollBackend.parkBatch) may still read op.canceled after
+	// a readiness-claimed completion recycles the op. The lock orders
+	// that late read against this reset; the reader's stale parked CAS is
 	// harmless either way (pointer-equality-guarded drop, and the claim
 	// protocol enqueues the op exactly once).
 	op.mu.Lock()
@@ -251,14 +363,18 @@ func (d *dispatcher) putOp(op *ioOp) {
 	op.ln = nil
 	op.buf = nil
 	op.off = 0
+	op.pb = nil
+	op.vec = nil
+	op.voff = 0
 	op.canceled = false
+	op.timedOut = false
 	op.mu.Unlock()
 	d.ops.Put(op)
 }
 
 // enqueue hands an op to the bridge pool: append, then wake an idle
 // bridge or grow the pool up to cap. Called from tasks (Arm), bridges
-// (rotation), the notifier (readiness), and aborts (unparking).
+// (rotation), the backend (readiness), and aborts (unparking).
 func (d *dispatcher) enqueue(op *ioOp) {
 	d.mu.Lock()
 	if d.closed {
@@ -300,6 +416,45 @@ func (d *dispatcher) enqueue(op *ioOp) {
 	d.mu.Unlock()
 }
 
+// enqueueBatch is enqueue for a set of ops that became runnable
+// together — a backend readiness sweep, or a bridge round's rotations:
+// one queue-lock hold, then as many bridge wakeups/spawns as the batch
+// can use. Dials never appear here (they neither rotate nor park).
+func (d *dispatcher) enqueueBatch(ops []*ioOp) {
+	if len(ops) == 0 {
+		return
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		for _, op := range ops {
+			op.discardLocked(errOpCanceled)
+		}
+		return
+	}
+	d.queue = append(d.queue, ops...)
+	need := len(ops)
+	if k := d.idle; k > 0 {
+		if k > need {
+			k = need
+		}
+		need -= k
+		for ; k > 0; k-- {
+			d.cond.Signal()
+		}
+	}
+	for need > 0 && d.bridges < d.cap {
+		d.bridges++
+		if d.bridges > d.peak {
+			d.peak = d.bridges
+		}
+		d.wg.Add(1)
+		go d.bridge()
+		need--
+	}
+	d.mu.Unlock()
+}
+
 // close drains the queue and joins every bridge. The runtime calls it
 // after the run's last task has finished, so every op still queued or
 // in flight is a canceled straggler whose completion nobody awaits.
@@ -308,12 +463,10 @@ func (d *dispatcher) close() {
 	d.closed = true
 	d.cond.Broadcast()
 	d.mu.Unlock()
-	// Join the bridges before tearing down the notifier: a bridge mid-park
-	// must not race the epoll fd's close (fd-number reuse).
+	// Join the bridges before tearing down the backend: a bridge
+	// mid-parkBatch must not race the epoll fd's close (fd-number reuse).
 	d.wg.Wait()
-	if d.notify != nil {
-		d.notify.close()
-	}
+	d.be.close()
 }
 
 // peakBridges reports the bridge pool's high-water mark.
@@ -323,12 +476,31 @@ func (d *dispatcher) peakBridges() int {
 	return d.peak
 }
 
-// bridge is one pool goroutine: pop an op, attempt it, repeat. Exits
-// when the dispatcher is closed and the queue is empty.
+// backendName reports the active backend ("rotate" or "epoll"); the
+// benchmarks record it alongside their results.
+func (d *dispatcher) backendName() string { return d.be.name() }
+
+// bridgeScratch is one bridge's reusable batch buffers, so a steady
+// stream of batched rounds allocates nothing.
+type bridgeScratch struct {
+	batch  []*ioOp
+	parks  []parkReq
+	rotate []*ioOp
+}
+
+// bridge is one pool goroutine: grab up to the backend's hint of queued
+// ops, attempt each, park the not-ready survivors in one batch, rotate
+// the rest in one batch, repeat. Exits when the dispatcher is closed
+// and the queue is empty.
 //
 //lhws:nosuspend
 func (d *dispatcher) bridge() {
 	defer d.wg.Done()
+	hint := d.be.batchHint()
+	if hint < 1 {
+		hint = 1
+	}
+	var sc bridgeScratch
 	d.mu.Lock()
 	for {
 		for d.head == len(d.queue) && !d.closed {
@@ -340,28 +512,51 @@ func (d *dispatcher) bridge() {
 			d.mu.Unlock()
 			return
 		}
-		op := d.queue[d.head]
-		d.queue[d.head] = nil
-		d.head++
+		take := len(d.queue) - d.head
+		if take > hint {
+			take = hint
+		}
+		sc.batch = sc.batch[:0]
+		for i := 0; i < take; i++ {
+			sc.batch = append(sc.batch, d.queue[d.head])
+			d.queue[d.head] = nil
+			d.head++
+		}
 		if d.head == len(d.queue) {
 			d.queue = d.queue[:0]
 			d.head = 0
 		}
 		d.mu.Unlock()
-		op.run(d)
+		sc.parks = sc.parks[:0]
+		sc.rotate = sc.rotate[:0]
+		for _, op := range sc.batch {
+			switch op.run(d) {
+			case attemptPark:
+				sc.parks = append(sc.parks, parkReq{op: op, rc: op.parkTarget(),
+					kind: op.kind, cn: op.cn})
+			case attemptRotate:
+				sc.rotate = append(sc.rotate, op)
+			}
+		}
+		if len(sc.parks) > 0 {
+			sc.rotate = d.be.parkBatch(sc.parks, sc.rotate)
+		}
+		d.enqueueBatch(sc.rotate)
 		d.mu.Lock()
 	}
 }
 
 // takeHandle ends the op's completion-side lifetime: it drops the op's
 // Close-visibility registration on its Conn/Listener (pooled ops are
-// about to be recycled and must not be unparked by a stale Close) and
-// zeroes the handle, ending the cancel-visibility window.
+// about to be recycled and must not be unparked by a stale Close),
+// stops any armed per-op deadline (a fire losing the race is ignored by
+// the op.dl identity check), and zeroes the handle, ending the
+// cancel-visibility window.
 //
 //lhws:nosuspend
 func (op *ioOp) takeHandle() runtime.ExternalHandle {
 	switch op.kind {
-	case opRead, opWrite:
+	case opRead, opWrite, opWritev:
 		if op.cn != nil {
 			op.cn.clearOp(op.kind, op)
 		}
@@ -371,6 +566,10 @@ func (op *ioOp) takeHandle() runtime.ExternalHandle {
 		}
 	}
 	op.mu.Lock()
+	if op.dl != nil {
+		op.dl.Stop()
+		op.dl = nil
+	}
 	h := op.h
 	op.h = runtime.ExternalHandle{}
 	op.mu.Unlock()
@@ -397,17 +596,55 @@ func (op *ioOp) discardLocked(err error) {
 	op.takeHandle().Discard(err)
 }
 
-// run executes one attempt of the op on the calling bridge. Dials never
-// reach here: enqueue routes them to dedicated goroutines.
-func (op *ioOp) run(d *dispatcher) {
+// settleBuf resolves a pooled read buffer's ownership after the op's
+// completion (or discard). won is completeLocked's claim result (false
+// for discards), n the attempt's progress. Exactly one party ends up
+// owning the buffer's reference:
+//
+//   - claim won: the task — it is returning from ReadBuf with the
+//     buffer in hand, so the bridge only forgets its pointer;
+//   - claim lost with progress: the conn's unread stash — the bytes are
+//     already off the socket and the next read must see them, so the
+//     buffer MOVES into the stash (the zero-copy half of the cancel
+//     window; the unpooled path has to copy here);
+//   - claim lost without progress: nobody — back to the pool.
+//
+//lhws:nosuspend
+func (op *ioOp) settleBuf(won bool, n int) {
+	pb := op.pb
+	if pb == nil {
+		if !won && n > 0 {
+			op.cn.stashUnread(op.buf[:n])
+		}
+		return
+	}
+	op.pb = nil
+	if won {
+		return
+	}
+	if n > 0 {
+		pb.SetLen(n)
+		op.cn.stashUnreadBuf(pb)
+		return
+	}
+	pb.Release()
+}
+
+// run executes one attempt of the op on the calling bridge and reports
+// how to route it. Dials never reach here: enqueue routes them to
+// dedicated goroutines.
+func (op *ioOp) run(d *dispatcher) attemptOutcome {
 	switch op.kind {
 	case opRead:
-		op.runRead(d)
+		return op.runRead(d)
 	case opWrite:
-		op.runWrite(d)
+		return op.runWrite(d)
+	case opWritev:
+		return op.runWritev(d)
 	case opAccept:
-		op.runAccept(d)
+		return op.runAccept(d)
 	}
+	return attemptDone
 }
 
 // startAttempt arms the slice deadline for one attempt under op.mu.
@@ -415,42 +652,25 @@ func (op *ioOp) run(d *dispatcher) {
 // without touching the socket. The mutex closes the kick race: either
 // the abort sees this attempt's deadline already armed and overrides it
 // with the past kick, or this attempt sees canceled already set.
-func (op *ioOp) startAttempt(arm func(time.Time) error) bool {
+func (op *ioOp) startAttempt(d *dispatcher, arm func(time.Time) error) bool {
 	op.mu.Lock()
 	if op.canceled {
 		op.mu.Unlock()
 		return false
 	}
-	arm(time.Now().Add(pollSlice))
+	arm(time.Now().Add(d.slice))
 	op.mu.Unlock()
 	return true
 }
 
-// retryOrComplete routes a no-progress timeout: park on the readiness
-// notifier (epoll builds), rotate to the back of the queue, or — if the
-// op was canceled mid-attempt — complete as kicked. Returns true if the
-// attempt was rerouted and the bridge should not complete it.
-func (op *ioOp) retryOrComplete(d *dispatcher, parkFd parkable) bool {
-	op.mu.Lock()
-	canceled := op.canceled
-	op.mu.Unlock()
-	if canceled {
-		return false
-	}
-	if d.notify != nil && parkFd != nil && d.notify.park(op, parkFd) {
-		return true
-	}
-	d.enqueue(op)
-	return true
-}
-
-func (op *ioOp) runRead(d *dispatcher) {
+func (op *ioOp) runRead(d *dispatcher) attemptOutcome {
 	cn := op.cn
 	nc := cn.nc
-	if !op.startAttempt(nc.SetReadDeadline) {
+	if !op.startAttempt(d, nc.SetReadDeadline) {
+		op.settleBuf(false, 0)
 		op.discardLocked(errOpCanceled)
 		d.putOp(op)
-		return
+		return attemptDone
 	}
 	// Bytes salvaged from a canceled predecessor take priority over the
 	// socket: they were already consumed off it, so the fd may never
@@ -459,101 +679,164 @@ func (op *ioOp) runRead(d *dispatcher) {
 	// cancel lands between the two, the claim-loss re-stash below puts
 	// them back).
 	if n := cn.takePending(op.buf); n > 0 {
-		if !op.completeLocked(n, nil) {
-			cn.stashUnread(op.buf[:n])
-		}
+		op.settleBuf(op.completeLocked(n, nil), n)
 		d.putOp(op)
-		return
+		return attemptDone
 	}
 	n, err := nc.Read(op.buf)
-	if n == 0 && isTimeout(err) && op.retryOrComplete(d, cn.sc) {
-		return
+	if n == 0 && isTimeout(err) {
+		canceled, timedOut := op.loadFlags()
+		switch {
+		case canceled:
+			op.settleBuf(false, 0)
+			op.discardLocked(err)
+			d.putOp(op)
+			return attemptDone
+		case timedOut:
+			op.settleBuf(op.completeLocked(0, errOpTimeout), 0)
+			d.putOp(op)
+			return attemptDone
+		}
+		return parkOrRotate(cn.sc)
 	}
 	if n > 0 && isTimeout(err) {
 		// Data arrived within the slice: a timeout alongside progress is
-		// not an error for the caller.
+		// not an error for the caller. (This also covers a per-op
+		// deadline firing just as bytes landed — the data wins.)
 		err = nil
 	}
-	op.mu.Lock()
-	canceled := op.canceled
-	op.mu.Unlock()
-	if canceled {
+	if canceled, _ := op.loadFlags(); canceled {
 		// The attempt was kicked; the abort owns the task's wake. Bytes
 		// consumed in the kick window are already off the socket: stash
 		// them for the conn's next read instead of silently
 		// desynchronizing the stream.
-		if n > 0 {
-			cn.stashUnread(op.buf[:n])
-		}
+		op.settleBuf(false, n)
 		op.discardLocked(err)
 		d.putOp(op)
-		return
+		return attemptDone
 	}
-	if !op.completeLocked(n, err) && n > 0 {
-		// A cancel landed between the check above and the claim: same
-		// salvage as the kicked path.
-		cn.stashUnread(op.buf[:n])
-	}
+	op.settleBuf(op.completeLocked(n, err), n)
 	d.putOp(op)
+	return attemptDone
 }
 
-func (op *ioOp) runWrite(d *dispatcher) {
+func (op *ioOp) runWrite(d *dispatcher) attemptOutcome {
 	nc := op.cn.nc
-	if !op.startAttempt(nc.SetWriteDeadline) {
+	if !op.startAttempt(d, nc.SetWriteDeadline) {
 		op.discardLocked(errOpCanceled)
 		d.putOp(op)
-		return
+		return attemptDone
 	}
 	n, err := nc.Write(op.buf[op.off:])
 	op.off += n
-	if op.off < len(op.buf) && isTimeout(err) && op.retryOrComplete(d, op.cn.sc) {
-		return
+	if op.off < len(op.buf) && isTimeout(err) {
+		canceled, timedOut := op.loadFlags()
+		switch {
+		case canceled:
+			// Kicked: the abort owns the wake. Bytes already on the wire
+			// stay there — the unwinding task never reads the progress
+			// count.
+			op.discardLocked(err)
+			d.putOp(op)
+			return attemptDone
+		case timedOut:
+			op.completeLocked(op.off, errOpTimeout)
+			d.putOp(op)
+			return attemptDone
+		}
+		return parkOrRotate(op.cn.sc)
 	}
 	if op.off == len(op.buf) && isTimeout(err) {
 		err = nil
 	}
-	op.mu.Lock()
-	canceled := op.canceled
-	op.mu.Unlock()
-	if canceled {
-		// Kicked: the abort owns the wake. Bytes already on the wire stay
-		// there — the unwinding task never reads the progress count.
+	if canceled, _ := op.loadFlags(); canceled {
 		op.discardLocked(err)
 		d.putOp(op)
-		return
+		return attemptDone
 	}
 	op.completeLocked(op.off, err)
 	d.putOp(op)
+	return attemptDone
 }
 
-func (op *ioOp) runAccept(d *dispatcher) {
+// runWritev is runWrite over a buffer vector: one writev syscall per
+// attempt (net.Buffers.WriteTo), consuming the written prefix so a
+// partial attempt resumes exactly where it stopped.
+func (op *ioOp) runWritev(d *dispatcher) attemptOutcome {
+	nc := op.cn.nc
+	if !op.startAttempt(d, nc.SetWriteDeadline) {
+		op.discardLocked(errOpCanceled)
+		d.putOp(op)
+		return attemptDone
+	}
+	n, err := op.vec.WriteTo(nc)
+	op.voff += int(n)
+	if len(op.vec) > 0 && isTimeout(err) {
+		canceled, timedOut := op.loadFlags()
+		switch {
+		case canceled:
+			op.discardLocked(err)
+			d.putOp(op)
+			return attemptDone
+		case timedOut:
+			op.completeLocked(op.voff, errOpTimeout)
+			d.putOp(op)
+			return attemptDone
+		}
+		return parkOrRotate(op.cn.sc)
+	}
+	if len(op.vec) == 0 && isTimeout(err) {
+		err = nil
+	}
+	if canceled, _ := op.loadFlags(); canceled {
+		op.discardLocked(err)
+		d.putOp(op)
+		return attemptDone
+	}
+	op.completeLocked(op.voff, err)
+	d.putOp(op)
+	return attemptDone
+}
+
+func (op *ioOp) runAccept(d *dispatcher) attemptOutcome {
 	arm := func(t time.Time) error { return nil }
 	if dl, ok := op.ln.nl.(deadliner); ok {
 		arm = dl.SetDeadline
 	}
-	if !op.startAttempt(arm) {
+	if !op.startAttempt(d, arm) {
 		op.discardLocked(errOpCanceled)
-		return
+		return attemptDone
 	}
 	nc, err := op.ln.nl.Accept()
-	if err != nil && nc == nil && isTimeout(err) && op.retryOrComplete(d, op.ln.sc) {
-		return
+	if err != nil && nc == nil && isTimeout(err) {
+		if canceled, _ := op.loadFlags(); !canceled {
+			return parkOrRotate(op.ln.sc)
+		}
+		op.discardLocked(err)
+		return attemptDone
 	}
 	if nc != nil {
 		op.deliverResult(nc)
 		err = nil
 	}
-	op.mu.Lock()
-	canceled := op.canceled
-	op.mu.Unlock()
-	if canceled {
+	if canceled, _ := op.loadFlags(); canceled {
 		// Kicked: the abort owns the wake; an accepted conn was already
 		// routed through deliverResult's abandoned handoff (closed by
 		// whichever side saw it last), so nothing leaks.
 		op.discardLocked(err)
-		return
+		return attemptDone
 	}
 	op.completeLocked(0, err)
+	return attemptDone
+}
+
+// parkOrRotate routes a genuinely not-ready op: to the backend when the
+// socket exposes a raw fd, back to the queue otherwise.
+func parkOrRotate(rc parkable) attemptOutcome {
+	if rc == nil {
+		return attemptRotate
+	}
+	return attemptPark
 }
 
 func (op *ioOp) runDial(d *dispatcher) {
@@ -613,7 +896,19 @@ func (op *ioOp) takeResult() net.Conn {
 	return nc
 }
 
+// isTimeout runs on every attempt, err or not, so the common cases must
+// not allocate: errors.As reflects on (and heap-escapes) its target even
+// for a nil error, which would cost one allocation per I/O op. A nil
+// check plus a direct interface assertion covers nil and the deadline
+// errors the net package actually returns (*net.OpError, unwrapped);
+// errors.As stays as the fallback for wrapped errors.
 func isTimeout(err error) bool {
+	if err == nil {
+		return false
+	}
+	if ne, ok := err.(net.Error); ok {
+		return ne.Timeout()
+	}
 	var ne net.Error
 	return errors.As(err, &ne) && ne.Timeout()
 }

@@ -16,6 +16,13 @@
 // deadlines; a canceled operation unwinds the task like every other
 // canceled wait.
 //
+// The data plane is built not to copy and not to allocate: ReadBuf
+// reads into reference-counted pooled buffers (internal/bufpool) that
+// move between readiness, task, and the conn's cancel-window stash by
+// pointer; QueueWrite/Flush (and Writev) coalesce pipelined responses
+// into one vectored writev syscall; per-op deadlines (SetOpTimeout) are
+// O(1) entries on the run's shared timer wheel. See DESIGN.md §13.
+//
 // In Blocking mode the same calls park the worker until the completion
 // arrives, preserving the paper's baseline for comparison; code written
 // against this package runs unchanged in both modes.
@@ -23,15 +30,18 @@
 // Concurrency contract: at most one task may be in Read and one in Write
 // on the same Conn at a time (as with net.Conn, reads and writes are
 // independent); Accept similarly admits one accepting task per Listener.
+// QueueWrite/Flush belong to the conn's single writer.
 package io
 
 import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"lhws/internal/bufpool"
 	"lhws/internal/runtime"
 )
 
@@ -39,14 +49,6 @@ import (
 // register readiness interest; nil when the underlying conn does not
 // expose one (rotation still works without it).
 type parkable = syscall.RawConn
-
-// notifier is the optional readiness fast path (see notify_epoll.go).
-// park registers a not-ready op's fd and owns re-enqueueing the op when
-// the fd fires; it reports false to fall back to queue rotation.
-type notifier interface {
-	park(op *ioOp, rc parkable) bool
-	close()
-}
 
 // Conn is a socket whose operations suspend the calling task instead of
 // blocking its worker. Create one with Dial, Listener.Accept, or Wrap.
@@ -56,8 +58,18 @@ type Conn struct {
 	nc net.Conn
 	sc parkable
 
+	// opTimeout, when set, arms a timer-wheel deadline on each
+	// subsequent read/write op (see SetOpTimeout).
+	opTimeout atomic.Int64
+
+	// wq is the task-local vectored write queue (QueueWrite/Flush). It
+	// belongs to the conn's single writer — the same task that would
+	// call Write — so it needs no lock: the writer is either queueing or
+	// suspended in Flush, never both.
+	wq net.Buffers
+
 	// opMu guards the in-flight op registrations. Close uses them to
-	// unpark operations waiting on the readiness notifier: closing an fd
+	// unpark operations waiting on the readiness backend: closing an fd
 	// silently removes it from an epoll set, so a parked op would
 	// otherwise never fire (rotation attempts discover the close on
 	// their own; parked ones must be routed back to a bridge).
@@ -65,14 +77,19 @@ type Conn struct {
 	rdOp *ioOp
 	wrOp *ioOp
 
-	// pendMu guards pending: bytes a canceled read's in-flight attempt
-	// consumed off the socket after its completion claim was already
-	// lost to the abort. Dropping them would desynchronize the stream —
-	// the conn's next read would wait forever for bytes that can never
-	// arrive again — so the bridge stashes them here and the next read
-	// drains the stash before touching the socket.
+	// pendMu guards the unread stash: pooled buffers holding bytes a
+	// canceled read's in-flight attempt consumed off the socket after
+	// its completion claim was already lost to the abort. Dropping them
+	// would desynchronize the stream — the conn's next read would wait
+	// forever for bytes that can never arrive again — so the bridge
+	// stashes them here and the next read drains the stash before
+	// touching the socket. Pooled reads MOVE their buffer in and out
+	// (the handoff is a reference transfer, no copy); the unpooled Read
+	// path copies, since its bytes alias the unwound caller's buffer.
+	// pendOff is the drained prefix of pending[0].
 	pendMu  sync.Mutex
-	pending []byte
+	pending []*bufpool.Buf
+	pendOff int
 }
 
 // setOp / clearOp maintain the Close-visibility registration around an
@@ -92,19 +109,30 @@ func (cn *Conn) clearOp(dir opKind, op *ioOp) {
 	cn.opMu.Lock()
 	if dir == opRead && cn.rdOp == op {
 		cn.rdOp = nil
-	} else if dir == opWrite && cn.wrOp == op {
+	} else if (dir == opWrite || dir == opWritev) && cn.wrOp == op {
 		cn.wrOp = nil
 	}
 	cn.opMu.Unlock()
 }
 
 // stashUnread salvages bytes whose completion lost its wake claim to a
-// cancellation (b aliases the unwound caller's buffer, so it is copied).
-// Any successor read already in flight on the conn is then kicked: it
-// may be blocked in a socket read waiting for bytes that now sit here.
+// cancellation. b aliases the unwound caller's buffer, so this path has
+// to copy — into a pooled buffer, which from then on moves like any
+// other stash entry.
 func (cn *Conn) stashUnread(b []byte) {
+	pb := bufpool.Get(len(b))
+	copy(pb.Bytes(), b)
+	cn.stashUnreadBuf(pb)
+}
+
+// stashUnreadBuf salvages a pooled read buffer whose completion lost
+// its wake claim: ownership of pb's reference MOVES into the stash (no
+// copy — this is the zero-copy half of the cancel window). Any
+// successor read already in flight on the conn is then kicked: it may
+// be blocked in a socket read waiting for bytes that now sit here.
+func (cn *Conn) stashUnreadBuf(pb *bufpool.Buf) {
 	cn.pendMu.Lock()
-	cn.pending = append(cn.pending, b...)
+	cn.pending = append(cn.pending, pb)
 	cn.pendMu.Unlock()
 	cn.opMu.Lock()
 	op := cn.rdOp
@@ -115,19 +143,60 @@ func (cn *Conn) stashUnread(b []byte) {
 }
 
 // takePending drains stashed unread bytes into p, stream order
-// preserved. Returns 0 when the stash is empty (the common case: one
-// predictable branch on the read path).
+// preserved; fully drained buffers go back to the pool. Returns 0 when
+// the stash is empty (the common case: one predictable branch on the
+// read path).
 func (cn *Conn) takePending(p []byte) int {
 	cn.pendMu.Lock()
-	n := copy(p, cn.pending)
-	switch {
-	case n == len(cn.pending):
-		cn.pending = nil
-	case n > 0:
-		cn.pending = cn.pending[n:]
+	n := 0
+	for n < len(p) && len(cn.pending) > 0 {
+		pb := cn.pending[0]
+		c := copy(p[n:], pb.Bytes()[cn.pendOff:])
+		n += c
+		cn.pendOff += c
+		if cn.pendOff == pb.Len() {
+			cn.popPendingLocked()
+			pb.Release()
+		}
 	}
 	cn.pendMu.Unlock()
 	return n
+}
+
+// popPendingLocked removes pending[0] by shifting the tail down, so the
+// slice keeps its backing array across drain/refill cycles (the stash
+// is almost always 0–2 entries deep; resetting to nil instead would
+// make every steady-state stash append allocate a fresh slice). Caller
+// holds pendMu and releases the popped buffer itself.
+func (cn *Conn) popPendingLocked() {
+	last := len(cn.pending) - 1
+	copy(cn.pending, cn.pending[1:])
+	cn.pending[last] = nil
+	cn.pending = cn.pending[:last]
+	cn.pendOff = 0
+}
+
+// takePendingBuf pops the stash's head buffer whole — the zero-copy
+// fast path of ReadBuf. A partially-drained head (a smaller
+// byte-oriented Read got there first) is compacted into a fresh pooled
+// buffer; the common case hands the stashed buffer over untouched.
+func (cn *Conn) takePendingBuf() *bufpool.Buf {
+	cn.pendMu.Lock()
+	if len(cn.pending) == 0 {
+		cn.pendMu.Unlock()
+		return nil
+	}
+	pb := cn.pending[0]
+	if cn.pendOff > 0 {
+		rem := pb.Bytes()[cn.pendOff:]
+		npb := bufpool.Get(len(rem))
+		copy(npb.Bytes(), rem)
+		pb.Release()
+		pb = npb
+	}
+	cn.popPendingLocked()
+	cn.pendMu.Unlock()
+	return pb
 }
 
 func (cn *Conn) hasPending() bool {
@@ -135,6 +204,21 @@ func (cn *Conn) hasPending() bool {
 	ok := len(cn.pending) > 0
 	cn.pendMu.Unlock()
 	return ok
+}
+
+// drainPending releases every stashed buffer (Close). A stash entry
+// landing after this (a canceled attempt settling late) is simply left
+// to the GC: the conn is closed, nobody will read it, and an unpooled
+// buffer costs nothing but its memory.
+func (cn *Conn) drainPending() {
+	cn.pendMu.Lock()
+	pend := cn.pending
+	cn.pending = nil
+	cn.pendOff = 0
+	cn.pendMu.Unlock()
+	for _, pb := range pend {
+		pb.Release()
+	}
 }
 
 // Wrap adopts an existing net.Conn into the task runtime. The conn must
@@ -160,6 +244,35 @@ func wrapConn(d *dispatcher, nc net.Conn) *Conn {
 	return cn
 }
 
+// SetOpTimeout sets a per-operation deadline applied to every
+// subsequent Read/ReadBuf/Write/Writev/Flush on this conn (zero
+// disables it). Each op arms one O(1) entry on the run's shared timer
+// wheel — a million pending I/O deadlines are a million list nodes, not
+// a million runtime timers — and an op still unfinished when its entry
+// fires completes with ErrOpTimeout: an ordinary error return carrying
+// whatever progress was made, not a cancellation unwind. The connection
+// stays usable. Ops that complete in time cost one O(1) timer stop.
+func (cn *Conn) SetOpTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	cn.opTimeout.Store(int64(d))
+}
+
+// armOpDeadline arms the conn's per-op deadline on op, if one is set.
+// Runs task-side before AwaitExternalOp, under op.mu so the wheel
+// callback's identity check (op.dl) is race-free against completion.
+func (cn *Conn) armOpDeadline(op *ioOp) {
+	d := time.Duration(cn.opTimeout.Load())
+	if d <= 0 {
+		return
+	}
+	t := cn.d.wheel.AfterFuncT(d, opDeadlineFired, op)
+	op.mu.Lock()
+	op.dl = t
+	op.mu.Unlock()
+}
+
 // Read reads into p, suspending the task until at least one byte (or
 // EOF, or an error) is available. Semantics match net.Conn.Read.
 func (cn *Conn) Read(c *runtime.Ctx, p []byte) (int, error) {
@@ -173,7 +286,45 @@ func (cn *Conn) Read(c *runtime.Ctx, p []byte) (int, error) {
 	op.cn = cn
 	op.buf = p
 	cn.setOp(opRead, op)
+	cn.armOpDeadline(op)
 	return c.AwaitExternalOp("io-read", runtime.KindFD, op)
+}
+
+// ReadBuf is Read without the copy or the allocation: it reads up to
+// max bytes into a buffer from the size-classed pool and hands the
+// buffer itself to the task — the same backing array the bridge's
+// syscall filled, sized to its class, with Len set to the bytes read.
+// The caller owns the returned buffer's reference and must Release it
+// (or pass ownership on, e.g. by queueing its bytes for write and
+// releasing after Flush). On error the buffer is never returned. Bytes
+// stashed by a canceled predecessor are handed over as a whole buffer,
+// zero-copy.
+func (cn *Conn) ReadBuf(c *runtime.Ctx, max int) (*bufpool.Buf, error) {
+	if max <= 0 {
+		max = 4 << 10
+	}
+	if pb := cn.takePendingBuf(); pb != nil {
+		return pb, nil
+	}
+	pb := bufpool.Get(max)
+	op := cn.d.getOp()
+	op.kind = opRead
+	op.cn = cn
+	op.pb = pb
+	op.buf = pb.Bytes()
+	cn.setOp(opRead, op)
+	cn.armOpDeadline(op)
+	n, err := c.AwaitExternalOp("io-read", runtime.KindFD, op)
+	// A normal return means the completion claim was won, which
+	// transferred the buffer's reference to this task (see settleBuf); a
+	// cancellation unwind never reaches here and the op side settles the
+	// buffer itself.
+	if n <= 0 {
+		pb.Release()
+		return nil, err
+	}
+	pb.SetLen(n)
+	return pb, err
 }
 
 // Write writes all of p, suspending the task across partial writes.
@@ -183,7 +334,69 @@ func (cn *Conn) Write(c *runtime.Ctx, p []byte) (int, error) {
 	op.cn = cn
 	op.buf = p
 	cn.setOp(opWrite, op)
+	cn.armOpDeadline(op)
 	return c.AwaitExternalOp("io-write", runtime.KindFD, op)
+}
+
+// Writev writes every buffer in bufs as one vectored operation: the
+// bridge issues writev (net.Buffers.WriteTo), so N pipelined response
+// fragments cost one syscall instead of N. bufs is consumed — its
+// elements are nil'ed and resliced as prefixes complete, exactly like
+// net.Buffers — so the caller must not reuse it without rebuilding.
+// Returns the total bytes written; partial progress across deadline
+// slices is retried until the vector drains, as with Write.
+func (cn *Conn) Writev(c *runtime.Ctx, bufs net.Buffers) (int, error) {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	op := cn.d.getOp()
+	op.kind = opWritev
+	op.cn = cn
+	op.vec = bufs
+	cn.setOp(opWritev, op)
+	cn.armOpDeadline(op)
+	return c.AwaitExternalOp("io-writev", runtime.KindFD, op)
+}
+
+// QueueWrite appends p to the conn's write queue without suspending or
+// touching the socket. Flush writes everything queued as one vectored
+// op. The queue belongs to the conn's single writer task; p is retained
+// until the Flush that writes it completes, so the caller must not
+// recycle p's backing array before then.
+func (cn *Conn) QueueWrite(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	cn.wq = append(cn.wq, p)
+}
+
+// Queued reports the bytes currently queued by QueueWrite.
+func (cn *Conn) Queued() int {
+	total := 0
+	for _, b := range cn.wq {
+		total += len(b)
+	}
+	return total
+}
+
+// Flush writes every queued buffer in one vectored operation and resets
+// the queue. A no-op when nothing is queued. The queue's backing array
+// is reused across Flush calls, so a steady queue-and-flush loop
+// allocates nothing.
+func (cn *Conn) Flush(c *runtime.Ctx) (int, error) {
+	if len(cn.wq) == 0 {
+		return 0, nil
+	}
+	vec := cn.wq
+	// Reset to the same backing array: the vectored op consumes vec's
+	// header (and nils drained elements), and this task is suspended in
+	// Writev until the op completes, so the reuse cannot race it.
+	cn.wq = cn.wq[:0]
+	return cn.Writev(c, vec)
 }
 
 // NetConn exposes the underlying net.Conn for address inspection and
@@ -193,7 +406,8 @@ func (cn *Conn) NetConn() net.Conn { return cn.nc }
 
 // Close closes the socket. Non-suspending; pending operations complete
 // with the socket's close error. Operations parked on the readiness
-// notifier are routed back to a bridge (the closed fd would never fire).
+// backend are routed back to a bridge (the closed fd would never fire),
+// and stashed unread buffers go back to the pool.
 func (cn *Conn) Close() error {
 	err := cn.nc.Close()
 	cn.opMu.Lock()
@@ -201,11 +415,12 @@ func (cn *Conn) Close() error {
 	cn.opMu.Unlock()
 	unparkForClose(cn.d, rd)
 	unparkForClose(cn.d, wr)
+	cn.drainPending()
 	return err
 }
 
-// unparkForClose reroutes an op parked in the notifier back to the
-// bridge queue so it can observe the close. The CAS races the notifier
+// unparkForClose reroutes an op parked in the backend back to the
+// bridge queue so it can observe the close. The CAS races the backend
 // and cancellation; exactly one party re-enqueues.
 func unparkForClose(d *dispatcher, op *ioOp) {
 	if op != nil && op.parked.CompareAndSwap(true, false) {
@@ -336,7 +551,18 @@ func PeakBridges(c *runtime.Ctx) int {
 	return dispFor(c).peakBridges()
 }
 
+// BackendName reports which readiness backend this run's dispatcher
+// selected: "rotate" (portable) or "epoll" (-tags lhwsepoll on Linux).
+func BackendName(c *runtime.Ctx) string {
+	return dispFor(c).backendName()
+}
+
 // ErrOpCanceled is exported for tests that need to distinguish the
 // canceled-result sentinel; user code normally never sees it (the task
 // unwinds instead).
 var ErrOpCanceled = errOpCanceled
+
+// ErrOpTimeout is the error a read/write completes with when its per-op
+// deadline (SetOpTimeout) expires first. A normal error return, not a
+// cancellation: the task keeps running and the conn stays usable.
+var ErrOpTimeout = errOpTimeout

@@ -1,0 +1,6 @@
+//go:build !race
+
+package io
+
+// raceDetectorEnabled is false in normal builds; see race_test.go.
+const raceDetectorEnabled = false

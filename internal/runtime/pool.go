@@ -36,14 +36,27 @@ import "sync"
 //     its current contents, and index reuse (ABA) is impossible.
 //
 // Cache capacities bound worker-local retention; overflow falls through
-// to the sync.Pool (tasks, futures) or is dropped for the GC.
+// to the run's sync.Pool. Every recycled type gets a pool backstop: the
+// I/O data plane holds thousands of tasks suspended at once (one rdeque,
+// node, and resumed-set buffer each at C connections), far beyond what a
+// worker-local list can usefully retain, and dropping the overflow to
+// the GC made the resume path allocate once per request at high C. A
+// sync.Pool scales retention with demand and lets the GC trim it when
+// load falls.
 const (
 	taskCacheCap  = 64
 	futCacheCap   = 64
-	dqCacheCap    = 16
-	nodeCacheCap  = 64
-	batchCacheCap = 8
-	sliceCacheCap = 8
+	dqCacheCap    = 64
+	nodeCacheCap  = 256
+	batchCacheCap = 64
+	// sliceCacheCap is deliberately large: resumed-set buffers are held
+	// by in-flight injected batches until fully extracted, so with C
+	// connections suspended the working set is ~C tiny slices. A dry
+	// cache makes every resume append allocate. Boxing slices through a
+	// sync.Pool would allocate the interface header each round trip, so
+	// the worker-local list is the only tier — at 3 words per entry a
+	// deep cap costs ~25KiB per worker.
+	sliceCacheCap = 1024
 )
 
 // runtimePools are the per-run shared backstops behind the worker-local
@@ -52,6 +65,9 @@ type runtimePools struct {
 	tasks   sync.Pool // *task (shell + channels + parked goroutine)
 	futures sync.Pool // *Future (pooled path only)
 	waiters sync.Pool // *waiter
+	rdeques sync.Pool // *rdeque (idle; Chase–Lev buffer kept, indices intact)
+	nodes   sync.Pool // *pforNode
+	batches sync.Pool // *pforBatch
 }
 
 // acquireTask returns a shell ready to run fn: from the worker-local free
@@ -156,6 +172,11 @@ func (w *worker) getRdeque() *rdeque {
 		d.owner = w
 		return d
 	}
+	if v := w.rt.pools.rdeques.Get(); v != nil {
+		d := v.(*rdeque)
+		d.owner = w
+		return d
+	}
 	return newRdeque(w)
 }
 
@@ -168,7 +189,10 @@ func (w *worker) putRdeque(d *rdeque) {
 	d.resetTarget()
 	if len(w.dqCache) < dqCacheCap {
 		w.dqCache = append(w.dqCache, d)
+		return
 	}
+	d.owner = nil
+	w.rt.pools.rdeques.Put(d)
 }
 
 // getSlice returns an empty []*task with recycled capacity for a deque's
@@ -211,6 +235,9 @@ func (w *worker) getNode() *pforNode {
 		w.nodeCache = w.nodeCache[:n-1]
 		return nd
 	}
+	if v := w.rt.pools.nodes.Get(); v != nil {
+		return v.(*pforNode)
+	}
 	return &pforNode{}
 }
 
@@ -220,7 +247,9 @@ func (w *worker) putNode(nd *pforNode) {
 	nd.b = nil
 	if len(w.nodeCache) < nodeCacheCap {
 		w.nodeCache = append(w.nodeCache, nd)
+		return
 	}
+	w.rt.pools.nodes.Put(nd)
 }
 
 //lhws:nonblocking
@@ -231,6 +260,9 @@ func (w *worker) getBatch() *pforBatch {
 		w.batchCache = w.batchCache[:n-1]
 		return b
 	}
+	if v := w.rt.pools.batches.Get(); v != nil {
+		return v.(*pforBatch)
+	}
 	return &pforBatch{}
 }
 
@@ -239,5 +271,7 @@ func (w *worker) putBatch(b *pforBatch) {
 	b.tasks = nil
 	if len(w.batchCache) < batchCacheCap {
 		w.batchCache = append(w.batchCache, b)
+		return
 	}
+	w.rt.pools.batches.Put(b)
 }

@@ -431,6 +431,18 @@ func (c *Ctx) Mode() Mode { return c.t.rt.cfg.Mode }
 // size their helper pools from it (O(P), never O(connections)).
 func (c *Ctx) NumWorkers() int { return c.t.rt.cfg.Workers }
 
+// Wheel returns the run's shared hashed timer wheel — the same one that
+// drives Latency expirations and scope deadlines. Run-scoped subsystems
+// (the I/O dispatcher's per-op deadlines) arm their timers here instead
+// of keeping a second wheel goroutine per run: a million pending I/O
+// deadlines are a million O(1) list inserts on one wheel, and timers
+// expiring in the same tick complete together, so their wakeups batch
+// into drainResumed's single pfor-tree injection like every other
+// same-drain completion. The wheel is shut down after the pool drains
+// and before run-scoped auxiliaries close (see Run), so an aux closer
+// never races a firing callback.
+func (c *Ctx) Wheel() *timerwheel.Wheel { return c.t.rt.wheel }
+
 func (rt *runtimeState) closeAux() {
 	rt.auxMu.Lock()
 	closers := rt.auxClosers

@@ -51,6 +51,7 @@ type Timer struct {
 	when       int64  // absolute tick of expiry
 	state      atomic.Int32
 	f          func(any)
+	ft         func(*Timer, any) // set instead of f by AfterFuncT
 	arg        any
 }
 
@@ -118,7 +119,20 @@ func (w *Wheel) now() int64 { return int64(time.Since(w.start) / w.tick) }
 // hot callers allocation-free: they pass a package-level function and
 // the waiter they already hold.
 func (w *Wheel) AfterFunc(d time.Duration, f func(any), arg any) *Timer {
-	t := &Timer{wheel: w, f: f, arg: arg}
+	return w.schedule(&Timer{wheel: w, f: f, arg: arg}, d)
+}
+
+// AfterFuncT is AfterFunc for callbacks that need the timer's identity:
+// f receives the *Timer being fired alongside arg. Callers that re-arm
+// deadlines on a recycled object (the I/O layer's per-op deadlines) use
+// this to tell a stale fire from the current one — the callback compares
+// the fired timer against the one currently stored on the object and
+// returns if they differ.
+func (w *Wheel) AfterFuncT(d time.Duration, f func(*Timer, any), arg any) *Timer {
+	return w.schedule(&Timer{wheel: w, ft: f, arg: arg}, d)
+}
+
+func (w *Wheel) schedule(t *Timer, d time.Duration) *Timer {
 	// Round up: a timer must never fire early, and a 0-duration timer
 	// still waits for the next tick boundary.
 	ticks := int64((d + w.tick - 1) / w.tick)
@@ -244,7 +258,11 @@ func (w *Wheel) run() {
 		for i, t := range due {
 			due[i] = nil
 			if t.state.CompareAndSwap(tArmed, tFired) {
-				t.f(t.arg)
+				if t.ft != nil {
+					t.ft(t, t.arg)
+				} else {
+					t.f(t.arg)
+				}
 			}
 		}
 

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"lhws/internal/admit"
+	"lhws/internal/bufpool"
 	"lhws/internal/dag"
 	"lhws/internal/experiments"
 	"lhws/internal/faultpoint"
@@ -272,11 +273,26 @@ func SpawnValue[T any](c *Ctx, f func(*Ctx) T) *runtime.Value[T] {
 // heavy-edge protocol as Ctx.Latency, so network waits overlap with
 // useful work exactly as the paper's model prescribes.
 type (
-	// IOConn is a socket with task-suspending Read and Write.
+	// IOConn is a socket with task-suspending Read and Write. Beyond the
+	// plain []byte calls it carries the pooled data plane: ReadBuf reads
+	// into a pooled IOBuf (zero allocation at steady state), QueueWrite +
+	// Flush coalesce a framed reply into one vectored writev, and
+	// SetOpTimeout arms a per-operation deadline that fails the op with
+	// ErrOpTimeout while leaving the connection usable.
 	IOConn = io.Conn
 	// IOListener is a listening socket with task-suspending Accept.
 	IOListener = io.Listener
+	// IOBuf is a pooled reference-counted buffer (see IOConn.ReadBuf).
+	// The holder owns one reference; Release returns the buffer to its
+	// size-class pool, Retain adds a reference for another holder.
+	IOBuf = bufpool.Buf
 )
+
+// ErrOpTimeout reports an I/O operation that outran the connection's
+// per-op budget (IOConn.SetOpTimeout). It is an ordinary operation
+// error, not a cancellation: the task keeps running and the connection
+// stays usable.
+var ErrOpTimeout = io.ErrOpTimeout
 
 // IODial connects to addr, suspending the task for the handshake.
 func IODial(c *Ctx, network, addr string) (*IOConn, error) { return io.Dial(c, network, addr) }
